@@ -1,0 +1,119 @@
+// Command apex-eval regenerates every table and figure of the APEX
+// paper's evaluation section and prints them as Markdown. Use -fast to
+// skip place-and-route (post-mapping numbers only, runs in seconds);
+// the default full run places and routes every design on the 32x16
+// fabric.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "skip place-and-route (post-mapping only)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. 'table2,fig13')")
+	jsonPath := flag.String("json", "", "also write all results as JSON to this file")
+	flag.Parse()
+
+	h := eval.NewHarness()
+	h.FastMode = *fast
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+	var collected []*eval.Table
+	emit := func(t *eval.Table, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", t, err)
+		}
+		collected = append(collected, t)
+		fmt.Println(t.Markdown())
+	}
+	defer func() {
+		if *jsonPath == "" {
+			return
+		}
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}()
+
+	start := time.Now()
+	if run("table1") {
+		emit(eval.Table1(), nil)
+	}
+	if run("fig3") {
+		t, _ := eval.Fig3()
+		emit(t, nil)
+	}
+	if run("fig4") {
+		t, _ := eval.Fig4()
+		emit(t, nil)
+	}
+	if run("fig5") {
+		t, _ := eval.Fig5()
+		emit(t, nil)
+	}
+	if run("fig10") {
+		t, err := h.Fig10()
+		emit(t, err)
+	}
+	if run("table2") || run("fig11") {
+		t, _, err := h.CameraLadder(!*fast)
+		emit(t, err)
+	}
+	if run("fig12") {
+		t, _, err := h.Fig12()
+		emit(t, err)
+	}
+	if run("fig13") {
+		t, _, err := h.Fig13()
+		emit(t, err)
+	}
+	if run("fig14") {
+		t, _, err := h.Fig14()
+		emit(t, err)
+	}
+	if !*fast && run("fig15") {
+		t, _, err := h.Fig15()
+		emit(t, err)
+	}
+	if !*fast && run("fig16") {
+		t, _, err := h.Fig16()
+		emit(t, err)
+	}
+	if !*fast && run("table3") {
+		t, _, err := h.Table3()
+		emit(t, err)
+	}
+	if run("fig17") {
+		t, err := h.Fig17(!*fast)
+		emit(t, err)
+	}
+	if run("fig18") {
+		t, err := h.Fig18(!*fast)
+		emit(t, err)
+	}
+	if run("ablations") {
+		t, err := h.Ablations()
+		emit(t, err)
+	}
+	fmt.Fprintf(os.Stderr, "apex-eval completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,89 @@
+// Command apex-rtl emits Verilog for an APEX-generated PE (and the CGRA
+// top-level skeleton):
+//
+//	apex-rtl -app camera -k 3          # specialized PE for an application
+//	apex-rtl -baseline                 # the general-purpose baseline PE
+//	apex-rtl -app camera -top          # also emit the 32x16 CGRA top
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/rtl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apex-rtl: ")
+	appName := flag.String("app", "", "application to specialize for")
+	k := flag.Int("k", 3, "subgraphs to merge")
+	baseline := flag.Bool("baseline", false, "emit the baseline PE instead")
+	top := flag.Bool("top", false, "also emit the CGRA top module")
+	tb := flag.Bool("tb", false, "also emit a self-checking testbench for the largest rule")
+	flag.Parse()
+
+	fw := core.New()
+	var (
+		v   *core.PEVariant
+		err error
+	)
+	switch {
+	case *baseline:
+		v, err = fw.BaselinePE()
+	case *appName != "":
+		var a *apps.App
+		a, err = apps.ByName(*appName)
+		if err == nil {
+			an := fw.Analyze(a)
+			v, err = fw.GeneratePE(a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
+		}
+	default:
+		log.Fatal("need -app <name> or -baseline")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := rtl.EmitPE(v.Name, v.Spec, v.Pipelined)
+	if err := rtl.Lint(src); err != nil {
+		log.Fatalf("emitted Verilog failed lint: %v", err)
+	}
+	fmt.Print(src)
+	if *top {
+		f := fw.Fabric
+		for _, section := range []string{
+			rtl.EmitPETile(v.Name, v.Spec, f.Tracks16),
+			rtl.EmitMemTile(f.Tracks16),
+			rtl.EmitCGRATop("cgra_top", f.W, f.H, f.MemColumnStride, f.Tracks16, v.Name),
+		} {
+			if err := rtl.Lint(section); err != nil {
+				log.Fatalf("emitted Verilog failed lint: %v", err)
+			}
+			fmt.Print("\n")
+			fmt.Print(section)
+		}
+	}
+	if *tb {
+		// The rule set is sorted complex-first; emit a testbench for the
+		// most interesting rule.
+		if len(v.Rules.Rules) == 0 {
+			log.Fatal("no rules to test")
+		}
+		bench, err := rtl.EmitTestbench(v.Name, v.Rules.Rules[0], 32, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rtl.Lint(bench); err != nil {
+			log.Fatalf("testbench failed lint: %v", err)
+		}
+		fmt.Print("\n")
+		fmt.Print(bench)
+	}
+	fmt.Fprintf(os.Stderr, "emitted %s: %d config bits, %d pipeline stages\n",
+		v.Name, v.Spec.ConfigBits(), v.Pipelined.Stages)
+}

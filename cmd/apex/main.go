@@ -1,0 +1,281 @@
+// Command apex drives the APEX design-space exploration flow from the
+// command line:
+//
+//	apex apps                       list the benchmark applications
+//	apex analyze  [-top N] <app>    mine + MIS-rank an application's subgraphs
+//	apex analyze  -dot <app>        print the app's dataflow graph (Graphviz)
+//	apex generate [-k N] <app>      generate a specialized PE (PE 1 + top N subgraphs)
+//	apex evaluate [-k N] <app>      full backend: map, pipeline, place, route, report
+//	apex simulate [-k N] <app>      ...and validate on the cycle-accurate fabric simulator
+//	apex compile  [-k N] <file>     compile a kernel written in the frontend language
+//
+// Flags come before the positional argument. Applications: camera,
+// harris, gaussian, unsharp, resnet, mobilenet, laplacian, stereo, fast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cgra"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apex: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "apps":
+		listApps()
+	case "analyze":
+		analyze(args)
+	case "generate":
+		generate(args)
+	case "evaluate":
+		evaluate(args)
+	case "compile":
+		compileKernel(args)
+	case "simulate":
+		simulate(args)
+	default:
+		usage()
+	}
+}
+
+// simulate runs the full backend for an application and then validates
+// the placed design on the cycle-accurate fabric simulator against the
+// application's reference semantics — the flow's VCS-simulation step.
+func simulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	k := fs.Int("k", 3, "subgraphs to merge into the PE")
+	vectors := fs.Int("vectors", 20, "random input vectors to check")
+	app := appArg(fs, args)
+
+	fw := core.New()
+	an := fw.Analyze(app)
+	v, err := fw.GeneratePE(app.Name+"_pe", app.UsedOps(), core.SelectPatterns(an, *k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := fw.Evaluate(app, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peLat := v.Pipelined.Stages
+	if peLat < 1 {
+		peLat = 1
+	}
+	lats := cgra.OutputLatencies(r.Balanced, peLat)
+	maxLat := 0
+	for _, l := range lats {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for vec := 0; vec < *vectors; vec++ {
+		inputs := map[string][]uint16{}
+		evalIn := map[string]uint16{}
+		for _, in := range app.Graph.Inputs() {
+			n := app.Graph.Nodes[in]
+			val := uint16(rng.Intn(256))
+			if n.Op == ir.OpInputB {
+				val &= 1
+			}
+			inputs[n.Name] = []uint16{val}
+			evalIn[n.Name] = val
+		}
+		want, err := app.Graph.Eval(evalIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err := cgra.Simulate(r.Balanced, peLat, inputs, maxLat+4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, w := range want {
+			series := trace[name]
+			if got := series[len(series)-1]; got != w {
+				log.Fatalf("vector %d: output %s: fabric %d != reference %d", vec, name, got, w)
+			}
+		}
+	}
+	fmt.Printf("%s on %s: %d PEs placed and routed; fabric simulation matches the\n", app.Name, v.Name, r.NumPEs)
+	fmt.Printf("reference on %d random vectors (latency %d cycles, period %.0f ps)\n", *vectors, maxLat, r.PeriodPS)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: apex {apps|analyze|generate|evaluate|simulate|compile} [args]")
+	os.Exit(2)
+}
+
+// compileKernel compiles a user-written kernel (see internal/frontend),
+// maps it onto the baseline PE, and reports the result — the entry point
+// for bringing custom applications to the framework.
+func compileKernel(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	k := fs.Int("k", 2, "subgraphs to merge into a specialized PE (0 = baseline only)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		log.Fatal("expected one kernel file (see internal/frontend for the language)")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := frontend.Compile(fs.Arg(0), string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := g.ComputeNodeCount()
+	g = ir.Optimize(g)
+	fmt.Printf("compiled %s: %d nodes, %d compute ops (%d before optimization), %d inputs, %d outputs\n",
+		fs.Arg(0), g.NumNodes(), g.ComputeNodeCount(), raw, len(g.Inputs()), len(g.Outputs()))
+
+	app := &apps.App{Name: "kernel", Graph: g, Unroll: 1, TotalOutputs: 1 << 20}
+	fw := core.New()
+	fw.SkipPnR = true
+	an := fw.Analyze(app)
+	fmt.Printf("mined %d frequent subgraphs\n", len(an.Ranked))
+	var v *core.PEVariant
+	if *k > 0 && len(an.Ranked) > 0 {
+		v, err = fw.GeneratePE("kernel_pe", app.UsedOps(), core.SelectPatterns(an, *k))
+	} else {
+		v, err = fw.BaselinePE()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := fw.Evaluate(app, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped onto %d PEs (%s, core %.1f um^2)\n", r.NumPEs, v.Name, r.PECoreArea)
+}
+
+func appArg(fs *flag.FlagSet, args []string) *apps.App {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		log.Fatalf("expected one application name; run 'apex apps'")
+	}
+	a, err := apps.ByName(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+func listApps() {
+	for _, a := range apps.All() {
+		analyzed := "analyzed"
+		if !a.Seen {
+			analyzed = "unseen  "
+		}
+		fmt.Printf("%-10s %-3s %s  compute=%d mem=%d io=%d\n    %s\n",
+			a.Name, a.Domain, analyzed, a.ComputeOps(), a.MemNodes(), a.IONodes(), a.Description)
+	}
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of patterns to print")
+	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
+	app := appArg(fs, args)
+
+	if *dot {
+		fmt.Print(app.Graph.DOT())
+		return
+	}
+	fw := core.New()
+	an := fw.Analyze(app)
+	fmt.Printf("%s: %d frequent subgraphs (compute view: %d nodes)\n",
+		app.Name, len(an.Ranked), an.View.NumNodes())
+	for i, r := range an.Ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%3d. MIS=%-4d occurrences=%-4d size=%d  %s\n",
+			i+1, r.MISSize, len(r.Occurrences), r.Pattern.ComputeSize(), r.Pattern.Code)
+	}
+}
+
+func generate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
+	app := appArg(fs, args)
+
+	fw := core.New()
+	m := tech.Default()
+	an := fw.Analyze(app)
+	chosen := core.SelectPatterns(an, *k)
+	v, err := fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), chosen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := v.Spec.DP.Count()
+	fmt.Printf("generated %s: %d FUs, %d consts, %d inputs, %d muxes\n",
+		v.Name, c.FUs, c.Consts, c.Inputs, c.Muxes)
+	fmt.Printf("  core area    %.1f um^2 (baseline: %.1f)\n", v.CoreArea(m), m.BaselinePECore().Area)
+	fmt.Printf("  pipeline     %d stages, %.0f ps period\n", v.Pipelined.Stages, v.Pipelined.PeriodPS)
+	fmt.Printf("  config word  %d bits\n", v.Spec.ConfigBits())
+	fmt.Printf("  rewrite rules %d (%d patterns unimplementable)\n", len(v.Rules.Rules), len(v.Rules.Failed))
+	for _, r := range v.Rules.Rules {
+		if r.Size > 1 {
+			fmt.Printf("    complex rule %-24s covers %d ops, %d inputs\n",
+				r.Name, r.Size, len(r.InputPorts)+len(r.BitPorts))
+		}
+	}
+}
+
+func evaluate(args []string) {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
+	baseline := fs.Bool("baseline", false, "evaluate on the general-purpose baseline PE instead")
+	fast := fs.Bool("fast", false, "skip place-and-route")
+	app := appArg(fs, args)
+
+	fw := core.New()
+	fw.SkipPnR = *fast
+	var (
+		v   *core.PEVariant
+		err error
+	)
+	if *baseline {
+		v, err = fw.BaselinePE()
+	} else {
+		an := fw.Analyze(app)
+		v, err = fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), core.SelectPatterns(an, *k))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := fw.Evaluate(app, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s\n", app.Name, v.Name)
+	fmt.Printf("  utilization  %d PEs, %d mems, %d RFs, %d IOs, %d regs, %d routing tiles\n",
+		r.NumPEs, r.NumMems, r.NumRFs, r.NumIOs, r.NumRegs, r.RoutingTiles)
+	fmt.Printf("  area         PE %.0f + SB %.0f + CB %.0f + MEM %.0f + RF %.0f = %.0f um^2\n",
+		r.TotalPEArea, r.SBArea, r.CBArea, r.MemArea, r.RFArea, r.TotalArea)
+	fmt.Printf("  energy/out   PE %.3f + SB %.3f + CB %.3f + MEM %.3f = %.3f pJ\n",
+		r.PEEnergy, r.SBEnergy, r.CBEnergy, r.MemEnergy, r.TotalEnergy)
+	fmt.Printf("  timing       %.0f ps period, %d cycles latency, %.3f ms runtime\n",
+		r.PeriodPS, r.LatencyCyc, r.RuntimeMS)
+	fmt.Printf("  perf         %.2f outputs/ms/mm^2\n", r.PerfPerMM2)
+}

@@ -1,0 +1,74 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/tech"
+)
+
+func TestASICSmallestEnergy(t *testing.T) {
+	m := tech.Default()
+	for _, a := range apps.All() {
+		asic := ASIC(a, m)
+		fpga := FPGA(a, m)
+		if asic.EnergyPJ <= 0 || asic.AreaUM2 <= 0 || asic.RuntimeMS <= 0 {
+			t.Errorf("%s: degenerate ASIC point %+v", a.Name, asic)
+		}
+		if fpga.EnergyPJ <= asic.EnergyPJ {
+			t.Errorf("%s: FPGA energy %.2f not above ASIC %.2f", a.Name, fpga.EnergyPJ, asic.EnergyPJ)
+		}
+		if fpga.RuntimeMS <= asic.RuntimeMS {
+			t.Errorf("%s: FPGA runtime not above ASIC", a.Name)
+		}
+		if fpga.AreaUM2 <= asic.AreaUM2 {
+			t.Errorf("%s: FPGA area not above ASIC", a.Name)
+		}
+	}
+}
+
+func TestFPGAFactorsApplied(t *testing.T) {
+	m := tech.Default()
+	a := apps.Gaussian()
+	asic, fpga := ASIC(a, m), FPGA(a, m)
+	if got := fpga.EnergyPJ / asic.EnergyPJ; got != fpgaEnergyFactor {
+		t.Errorf("energy factor %.1f, want %.1f", got, fpgaEnergyFactor)
+	}
+	if got := fpga.RuntimeMS / asic.RuntimeMS; got != fpgaPeriodFactor {
+		t.Errorf("period factor %.2f, want %.2f", got, fpgaPeriodFactor)
+	}
+}
+
+func TestSimbaScalesWithMACs(t *testing.T) {
+	m := tech.Default()
+	resnet := Simba(apps.ResNet(), m)
+	mobile := Simba(apps.MobileNet(), m)
+	if resnet.EnergyPJ <= simbaOverheadPJ || mobile.EnergyPJ <= simbaOverheadPJ {
+		t.Error("Simba energy should exceed the fixed overhead")
+	}
+	// ResNet's tile has more multiplies per output than MobileNet's.
+	if resnet.EnergyPJ <= mobile.EnergyPJ {
+		t.Errorf("resnet Simba energy %.3f not above mobilenet %.3f", resnet.EnergyPJ, mobile.EnergyPJ)
+	}
+}
+
+func TestSimbaDeterministic(t *testing.T) {
+	m := tech.Default()
+	a := Simba(apps.ResNet(), m)
+	b := Simba(apps.ResNet(), m)
+	if a != b {
+		t.Error("Simba model nondeterministic")
+	}
+}
+
+func TestASICScalesWithAppSize(t *testing.T) {
+	m := tech.Default()
+	small := ASIC(apps.Gaussian(), m) // 140 compute ops
+	big := ASIC(apps.Unsharp(), m)    // 303 compute ops
+	if big.AreaUM2 <= small.AreaUM2 {
+		t.Errorf("bigger app should synthesize to more area: %.0f vs %.0f", big.AreaUM2, small.AreaUM2)
+	}
+	if big.EnergyPJ <= small.EnergyPJ {
+		t.Error("bigger app should burn more energy per output")
+	}
+}

@@ -1,0 +1,111 @@
+package cgra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rewrite"
+)
+
+// DecodedTile is the structured view of one tile's configuration,
+// recovered from a bitstream.
+type DecodedTile struct {
+	Coord    Coord
+	OpWords  []uint32 // featPEOp words in index order
+	MuxSels  []uint32 // featPEMux words in index order
+	Consts   []uint32 // featPEConst words in index order
+	SBHops   int      // switch-box switch settings at this tile
+	CBInputs int      // connection-box selects at this tile
+	MemMode  []uint32 // memory/register-file mode words
+	IOMode   []uint32
+}
+
+// Decode parses a bitstream back into per-tile configuration — the
+// inverse of GenerateBitstream's encoding, used to validate that the
+// configuration written to the fabric is complete and well-formed.
+func (b *Bitstream) Decode() map[Coord]*DecodedTile {
+	type keyed struct {
+		index int
+		data  uint32
+	}
+	perTile := map[Coord]map[int][]keyed{}
+	for _, w := range b.Words {
+		c := Coord{X: int(w.Addr>>12&0xff) - 1, Y: int(w.Addr>>20&0xfff) - 1}
+		feature := int(w.Addr >> 8 & 0xf)
+		index := int(w.Addr & 0xff)
+		if perTile[c] == nil {
+			perTile[c] = map[int][]keyed{}
+		}
+		perTile[c][feature] = append(perTile[c][feature], keyed{index, w.Data})
+	}
+	out := map[Coord]*DecodedTile{}
+	for c, feats := range perTile {
+		dt := &DecodedTile{Coord: c}
+		collect := func(feature int) []uint32 {
+			ks := feats[feature]
+			sort.Slice(ks, func(i, j int) bool { return ks[i].index < ks[j].index })
+			var vals []uint32
+			for _, k := range ks {
+				vals = append(vals, k.data)
+			}
+			return vals
+		}
+		dt.OpWords = collect(featPEOp)
+		dt.MuxSels = collect(featPEMux)
+		dt.Consts = collect(featPEConst)
+		dt.SBHops = len(feats[featSB])
+		dt.CBInputs = len(feats[featCB])
+		dt.MemMode = collect(featMemMode)
+		dt.IOMode = collect(featIOMode)
+		out[c] = dt
+	}
+	return out
+}
+
+// VerifyAgainst checks a decoded bitstream against the routing it was
+// generated from: every placed core has its configuration present, and
+// every route hop has a switch setting at its source tile.
+func (b *Bitstream) VerifyAgainst(r *Routing) error {
+	tiles := b.Decode()
+	m := r.Placement.Mapped
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		c := r.Placement.Loc[i]
+		dt := tiles[c]
+		switch n.Kind {
+		case rewrite.KindPE:
+			if dt == nil || len(dt.MuxSels) == 0 {
+				return fmt.Errorf("cgra: PE node %d at %s has no mux configuration", i, c)
+			}
+			if len(dt.Consts) != len(n.ConstVals)+len(n.LUTTables) {
+				return fmt.Errorf("cgra: PE node %d at %s: %d const words, want %d",
+					i, c, len(dt.Consts), len(n.ConstVals)+len(n.LUTTables))
+			}
+		}
+	}
+	// Count switch settings: one per distinct (edge, source) pair.
+	want := 0
+	type edgeSrc struct {
+		e   [2]Coord
+		src int
+		bit bool
+	}
+	seen := map[edgeSrc]bool{}
+	for _, rt := range r.Routes {
+		for h := 0; h+1 < len(rt.Path); h++ {
+			k := edgeSrc{[2]Coord{rt.Path[h], rt.Path[h+1]}, rt.Net.Src, rt.Net.Bit}
+			if !seen[k] {
+				seen[k] = true
+				want++
+			}
+		}
+	}
+	got := 0
+	for _, dt := range tiles {
+		got += dt.SBHops
+	}
+	if got != want {
+		return fmt.Errorf("cgra: %d switch settings decoded, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package cgra models the CGRA fabric of the paper's Fig. 1 — a grid of
+// PE and memory tiles joined by a statically configured interconnect of
+// switch boxes (5 tracks per direction) and connection boxes — and
+// implements placement (simulated annealing), routing (negotiated
+// congestion), configuration bitstream generation, utilization
+// accounting, and a cycle-accurate simulator used to validate mapped
+// applications against the IR interpreter.
+package cgra
+
+import "fmt"
+
+// TileKind discriminates fabric tiles.
+type TileKind uint8
+
+const (
+	TilePE TileKind = iota
+	TileMem
+	TileIO
+)
+
+func (k TileKind) String() string {
+	switch k {
+	case TilePE:
+		return "PE"
+	case TileMem:
+		return "MEM"
+	case TileIO:
+		return "IO"
+	}
+	return "?"
+}
+
+// Coord addresses a tile. The compute grid spans x in [0,W), y in [0,H);
+// I/O sites ring the grid at x==-1, x==W, y==-1, y==H.
+type Coord struct{ X, Y int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Fabric describes a CGRA instance.
+type Fabric struct {
+	W, H int
+	// MemColumnStride places a memory-tile column every Nth column
+	// (Garnet-style); 4 in the paper's fabric.
+	MemColumnStride int
+	// Tracks16 and Tracks1 are per-direction track counts between
+	// adjacent tiles (the paper's SB has five 16-bit tracks; 1-bit
+	// control uses narrower tracks).
+	Tracks16 int
+	Tracks1  int
+	// MaxRegsPerTile caps interconnect pipeline registers hosted by one
+	// tile's switch box.
+	MaxRegsPerTile int
+}
+
+// NewFabric returns the paper's 32x16 fabric with a memory column every
+// 4th column and 5 routing tracks.
+func NewFabric(w, h int) *Fabric {
+	return &Fabric{
+		W: w, H: h,
+		MemColumnStride: 4,
+		Tracks16:        5,
+		Tracks1:         2,
+		MaxRegsPerTile:  10,
+	}
+}
+
+// Default returns the paper's 32x16 evaluation fabric.
+func Default() *Fabric { return NewFabric(32, 16) }
+
+// KindAt reports the tile kind at a coordinate (TileIO on the ring).
+func (f *Fabric) KindAt(c Coord) TileKind {
+	if f.onRing(c) {
+		return TileIO
+	}
+	if f.MemColumnStride > 0 && c.X%f.MemColumnStride == f.MemColumnStride-1 {
+		return TileMem
+	}
+	return TilePE
+}
+
+func (f *Fabric) onRing(c Coord) bool {
+	return c.X == -1 || c.X == f.W || c.Y == -1 || c.Y == f.H
+}
+
+// InGrid reports whether c is a compute-grid tile.
+func (f *Fabric) InGrid(c Coord) bool {
+	return c.X >= 0 && c.X < f.W && c.Y >= 0 && c.Y < f.H
+}
+
+// ValidCoord reports whether c is a grid tile or a ring I/O site
+// (corners excluded — no tile adjacency).
+func (f *Fabric) ValidCoord(c Coord) bool {
+	if f.InGrid(c) {
+		return true
+	}
+	onX := (c.X == -1 || c.X == f.W) && c.Y >= 0 && c.Y < f.H
+	onY := (c.Y == -1 || c.Y == f.H) && c.X >= 0 && c.X < f.W
+	return onX != onY
+}
+
+// PETiles returns all PE-tile coordinates in row-major order.
+func (f *Fabric) PETiles() []Coord {
+	var cs []Coord
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			c := Coord{x, y}
+			if f.KindAt(c) == TilePE {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return cs
+}
+
+// MemTiles returns all memory-tile coordinates in row-major order.
+func (f *Fabric) MemTiles() []Coord {
+	var cs []Coord
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			c := Coord{x, y}
+			if f.KindAt(c) == TileMem {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return cs
+}
+
+// IOSites returns the ring I/O coordinates.
+func (f *Fabric) IOSites() []Coord {
+	var cs []Coord
+	for x := 0; x < f.W; x++ {
+		cs = append(cs, Coord{x, -1}, Coord{x, f.H})
+	}
+	for y := 0; y < f.H; y++ {
+		cs = append(cs, Coord{-1, y}, Coord{f.W, y})
+	}
+	return cs
+}
+
+// Neighbors returns the orthogonally adjacent valid coordinates.
+func (f *Fabric) Neighbors(c Coord) []Coord {
+	var ns []Coord
+	for _, d := range [4]Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		n := Coord{c.X + d.X, c.Y + d.Y}
+		if f.ValidCoord(n) {
+			ns = append(ns, n)
+		}
+	}
+	return ns
+}
+
+// NumTiles returns the compute-grid tile count.
+func (f *Fabric) NumTiles() int { return f.W * f.H }
+
+func manhattan(a, b Coord) int {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

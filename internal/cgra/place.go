@@ -1,0 +1,339 @@
+package cgra
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rewrite"
+)
+
+// Placement assigns every mapped node a fabric coordinate. PE and
+// register-file nodes occupy PE tiles (a tile hosts at most one PE core
+// and at most one register file — the register file is a separate
+// resource within the tile, matching the paper's register-file
+// pipelining); memory nodes occupy memory tiles; I/O nodes occupy ring
+// sites; interconnect registers attach to any grid tile's switch box.
+type Placement struct {
+	Fabric *Fabric
+	Mapped *rewrite.Mapped
+	Loc    []Coord // per mapped node
+}
+
+// PlaceOptions tunes the simulated-annealing placer.
+type PlaceOptions struct {
+	Seed  int64
+	Moves int // annealing moves; 0 = default scaled by design size
+}
+
+// Place produces a legal placement minimizing estimated wirelength via
+// greedy seeding followed by simulated annealing.
+func Place(m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	p := &Placement{Fabric: f, Mapped: m, Loc: make([]Coord, len(m.Nodes))}
+
+	// Partition nodes by resource class.
+	var peNodes, rfNodes, memNodes, ioNodes, regNodes []int
+	for i := range m.Nodes {
+		switch m.Nodes[i].Kind {
+		case rewrite.KindPE:
+			peNodes = append(peNodes, i)
+		case rewrite.KindRegFile:
+			rfNodes = append(rfNodes, i)
+		case rewrite.KindMem, rewrite.KindRom:
+			memNodes = append(memNodes, i)
+		case rewrite.KindInput, rewrite.KindInputB, rewrite.KindOutput:
+			ioNodes = append(ioNodes, i)
+		case rewrite.KindReg:
+			regNodes = append(regNodes, i)
+		}
+	}
+	peSlots := f.PETiles()
+	memSlots := f.MemTiles()
+	ioSlots := f.IOSites()
+	if len(peNodes) > len(peSlots) {
+		return nil, fmt.Errorf("cgra: %d PEs exceed %d PE tiles", len(peNodes), len(peSlots))
+	}
+	if len(rfNodes) > len(peSlots) {
+		return nil, fmt.Errorf("cgra: %d register files exceed %d PE tiles", len(rfNodes), len(peSlots))
+	}
+	if len(memNodes) > len(memSlots) {
+		return nil, fmt.Errorf("cgra: %d memories exceed %d memory tiles", len(memNodes), len(memSlots))
+	}
+	if len(ioNodes) > len(ioSlots) {
+		return nil, fmt.Errorf("cgra: %d IOs exceed %d IO sites", len(ioNodes), len(ioSlots))
+	}
+
+	// Greedy seed: BFS order of the mapped graph onto slot lists sorted
+	// by distance from the grid center, so connected nodes start close.
+	center := Coord{f.W / 2, f.H / 2}
+	sortByCenter := func(cs []Coord) []Coord {
+		out := append([]Coord(nil), cs...)
+		sort.Slice(out, func(i, j int) bool {
+			di, dj := manhattan(out[i], center), manhattan(out[j], center)
+			if di != dj {
+				return di < dj
+			}
+			if out[i].Y != out[j].Y {
+				return out[i].Y < out[j].Y
+			}
+			return out[i].X < out[j].X
+		})
+		return out
+	}
+	peOrder := sortByCenter(peSlots)
+	memOrder := sortByCenter(memSlots)
+	ioOrder := sortByCenter(ioSlots)
+
+	topo := m.TopoOrder()
+	pi, mi, ii := 0, 0, 0
+	rfOrder := append([]Coord(nil), peOrder...)
+	ri := 0
+	for _, i := range topo {
+		switch m.Nodes[i].Kind {
+		case rewrite.KindPE:
+			p.Loc[i] = peOrder[pi]
+			pi++
+		case rewrite.KindRegFile:
+			p.Loc[i] = rfOrder[ri]
+			ri++
+		case rewrite.KindMem, rewrite.KindRom:
+			p.Loc[i] = memOrder[mi]
+			mi++
+		case rewrite.KindInput, rewrite.KindInputB, rewrite.KindOutput:
+			p.Loc[i] = ioOrder[ii]
+			ii++
+		case rewrite.KindReg:
+			// Registers float: seed at the grid center; annealing and
+			// routing pull them onto sensible tiles.
+			p.Loc[i] = Coord{rng.Intn(f.W), rng.Intn(f.H)}
+		}
+	}
+
+	p.anneal(rng, opt.Moves, peNodes, rfNodes, memNodes, ioNodes, regNodes)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// nets enumerates (producer, consumer) pairs.
+func (p *Placement) nets() [][2]int {
+	var ns [][2]int
+	for i := range p.Mapped.Nodes {
+		for _, pr := range p.Mapped.Nodes[i].Producers() {
+			ns = append(ns, [2]int{pr, i})
+		}
+	}
+	return ns
+}
+
+func (p *Placement) wirelength() int {
+	total := 0
+	for _, n := range p.nets() {
+		total += manhattan(p.Loc[n[0]], p.Loc[n[1]])
+	}
+	return total
+}
+
+// anneal refines the placement with class-preserving swap/move proposals.
+func (p *Placement) anneal(rng *rand.Rand, moves int, peNodes, rfNodes, memNodes, ioNodes, regNodes []int) {
+	if moves <= 0 {
+		moves = 200 * len(p.Mapped.Nodes)
+		if moves > 400_000 {
+			moves = 400_000
+		}
+	}
+	// Incremental cost: net list per node.
+	netsOf := make([][]int, len(p.Mapped.Nodes))
+	allNets := p.nets()
+	for ni, n := range allNets {
+		netsOf[n[0]] = append(netsOf[n[0]], ni)
+		netsOf[n[1]] = append(netsOf[n[1]], ni)
+	}
+	netLen := func(ni int) int {
+		return manhattan(p.Loc[allNets[ni][0]], p.Loc[allNets[ni][1]])
+	}
+	costAround := func(nodes ...int) int {
+		seen := map[int]bool{}
+		c := 0
+		for _, nd := range nodes {
+			for _, ni := range netsOf[nd] {
+				if !seen[ni] {
+					seen[ni] = true
+					c += netLen(ni)
+				}
+			}
+		}
+		return c
+	}
+
+	// Occupancy maps per resource class for swap proposals.
+	classes := [][]int{peNodes, rfNodes, memNodes, ioNodes, regNodes}
+	var movable []int
+	for _, cl := range classes {
+		movable = append(movable, cl...)
+	}
+	if len(movable) < 2 {
+		return
+	}
+	classOf := map[int]int{}
+	for ci, cl := range classes {
+		for _, nd := range cl {
+			classOf[nd] = ci
+		}
+	}
+	// Free slots per class for move proposals.
+	freeSlots := p.freeSlotsByClass()
+
+	t := float64(p.Fabric.W + p.Fabric.H)
+	cool := math.Pow(0.01/t, 1/float64(moves))
+	for step := 0; step < moves; step++ {
+		a := movable[rng.Intn(len(movable))]
+		ca := classOf[a]
+		// Either swap with a same-class node or move to a free slot.
+		if len(freeSlots[ca]) > 0 && rng.Intn(2) == 0 {
+			si := rng.Intn(len(freeSlots[ca]))
+			target := freeSlots[ca][si]
+			before := costAround(a)
+			old := p.Loc[a]
+			p.Loc[a] = target
+			after := costAround(a)
+			if accepted(before, after, t, rng) {
+				freeSlots[ca][si] = old
+			} else {
+				p.Loc[a] = old
+			}
+		} else {
+			b := sameClassPeer(rng, classes[ca], a)
+			if b < 0 {
+				continue
+			}
+			before := costAround(a, b)
+			p.Loc[a], p.Loc[b] = p.Loc[b], p.Loc[a]
+			after := costAround(a, b)
+			if !accepted(before, after, t, rng) {
+				p.Loc[a], p.Loc[b] = p.Loc[b], p.Loc[a]
+			}
+		}
+		t *= cool
+	}
+}
+
+func accepted(before, after int, t float64, rng *rand.Rand) bool {
+	if after <= before {
+		return true
+	}
+	return rng.Float64() < math.Exp(float64(before-after)/t)
+}
+
+func sameClassPeer(rng *rand.Rand, class []int, a int) int {
+	if len(class) < 2 {
+		return -1
+	}
+	for tries := 0; tries < 8; tries++ {
+		b := class[rng.Intn(len(class))]
+		if b != a {
+			return b
+		}
+	}
+	return -1
+}
+
+// freeSlotsByClass computes unoccupied slots per resource class
+// (PE, RF, Mem, IO, Reg).
+func (p *Placement) freeSlotsByClass() [][]Coord {
+	occupied := map[Coord]map[int]bool{} // coord -> class set
+	classAt := func(i int) int {
+		switch p.Mapped.Nodes[i].Kind {
+		case rewrite.KindPE:
+			return 0
+		case rewrite.KindRegFile:
+			return 1
+		case rewrite.KindMem, rewrite.KindRom:
+			return 2
+		case rewrite.KindInput, rewrite.KindInputB, rewrite.KindOutput:
+			return 3
+		default:
+			return 4
+		}
+	}
+	for i := range p.Mapped.Nodes {
+		c := p.Loc[i]
+		if occupied[c] == nil {
+			occupied[c] = map[int]bool{}
+		}
+		occupied[c][classAt(i)] = true
+	}
+	free := make([][]Coord, 5)
+	for _, c := range p.Fabric.PETiles() {
+		if !occupied[c][0] {
+			free[0] = append(free[0], c)
+		}
+		if !occupied[c][1] {
+			free[1] = append(free[1], c)
+		}
+		free[4] = append(free[4], c)
+	}
+	for _, c := range p.Fabric.MemTiles() {
+		if !occupied[c][2] {
+			free[2] = append(free[2], c)
+		}
+		free[4] = append(free[4], c)
+	}
+	for _, c := range p.Fabric.IOSites() {
+		if !occupied[c][3] {
+			free[3] = append(free[3], c)
+		}
+	}
+	return free
+}
+
+// Validate checks resource legality: kinds on compatible tiles and no
+// double occupancy within a resource class.
+func (p *Placement) Validate() error {
+	peAt := map[Coord]int{}
+	rfAt := map[Coord]int{}
+	memAt := map[Coord]int{}
+	ioAt := map[Coord]int{}
+	for i := range p.Mapped.Nodes {
+		c := p.Loc[i]
+		kind := p.Mapped.Nodes[i].Kind
+		switch kind {
+		case rewrite.KindPE, rewrite.KindRegFile:
+			if p.Fabric.KindAt(c) != TilePE {
+				return fmt.Errorf("cgra: node %d (%s) on %s tile %s", i, kind, p.Fabric.KindAt(c), c)
+			}
+			reg := peAt
+			if kind == rewrite.KindRegFile {
+				reg = rfAt
+			}
+			if prev, ok := reg[c]; ok {
+				return fmt.Errorf("cgra: nodes %d and %d share tile %s", prev, i, c)
+			}
+			reg[c] = i
+		case rewrite.KindMem, rewrite.KindRom:
+			if p.Fabric.KindAt(c) != TileMem {
+				return fmt.Errorf("cgra: mem node %d on %s tile %s", i, p.Fabric.KindAt(c), c)
+			}
+			if prev, ok := memAt[c]; ok {
+				return fmt.Errorf("cgra: mems %d and %d share tile %s", prev, i, c)
+			}
+			memAt[c] = i
+		case rewrite.KindInput, rewrite.KindInputB, rewrite.KindOutput:
+			if p.Fabric.KindAt(c) != TileIO {
+				return fmt.Errorf("cgra: IO node %d on %s tile %s", i, p.Fabric.KindAt(c), c)
+			}
+			if prev, ok := ioAt[c]; ok {
+				return fmt.Errorf("cgra: IOs %d and %d share site %s", prev, i, c)
+			}
+			ioAt[c] = i
+		case rewrite.KindReg:
+			if !p.Fabric.InGrid(c) {
+				return fmt.Errorf("cgra: reg node %d off-grid at %s", i, c)
+			}
+		}
+	}
+	return nil
+}

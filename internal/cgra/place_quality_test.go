@@ -1,0 +1,73 @@
+package cgra
+
+import (
+	"testing"
+)
+
+// TestAnnealingImprovesWirelength: the simulated-annealing placer must
+// beat (or at least match) the greedy seed it starts from on a real
+// design.
+func TestAnnealingImprovesWirelength(t *testing.T) {
+	_, m := smallMapped(t)
+	fab := Default()
+	seeded, err := Place(m, fab, PlaceOptions{Seed: 5, Moves: 1}) // effectively no annealing
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := Place(m, fab, PlaceOptions{Seed: 5, Moves: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := seeded.wirelength(), annealed.wirelength()
+	if w1 > w0 {
+		t.Errorf("annealing worsened wirelength: %d -> %d", w0, w1)
+	}
+	t.Logf("wirelength: seed %d -> annealed %d", w0, w1)
+}
+
+// TestPlacementDeterministicPerSeed: identical seeds must reproduce the
+// placement exactly (the whole flow is reproducible).
+func TestPlacementDeterministicPerSeed(t *testing.T) {
+	_, m := smallMapped(t)
+	fab := Default()
+	p1, err := Place(m, fab, PlaceOptions{Seed: 9, Moves: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(m, fab, PlaceOptions{Seed: 9, Moves: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Loc {
+		if p1.Loc[i] != p2.Loc[i] {
+			t.Fatalf("node %d placed at %s vs %s", i, p1.Loc[i], p2.Loc[i])
+		}
+	}
+}
+
+// TestAnnealedRoutesShorter: better placement should produce fewer total
+// routed hops on a congested fabric.
+func TestAnnealedRoutesShorter(t *testing.T) {
+	_, m := smallMapped(t)
+	fab := Default()
+	bad, err := Place(m, fab, PlaceOptions{Seed: 3, Moves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Place(m, fab, PlaceOptions{Seed: 3, Moves: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RouteAll(bad, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := RouteAll(good, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.TotalHops() > rb.TotalHops() {
+		t.Errorf("annealed placement routes longer: %d vs %d hops", rg.TotalHops(), rb.TotalHops())
+	}
+	t.Logf("hops: seed-only %d -> annealed %d", rb.TotalHops(), rg.TotalHops())
+}

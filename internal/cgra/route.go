@@ -1,0 +1,299 @@
+package cgra
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/rewrite"
+)
+
+// Net is one point-to-point connection to route: the value produced by
+// mapped node Src consumed by mapped node Dst. Bit marks 1-bit nets
+// (routed on the narrow control tracks). Nets with the same Src share
+// tracks wherever their paths coincide — one value on a track serves any
+// number of sinks.
+type Net struct {
+	Src, Dst int
+	Bit      bool
+}
+
+// Route is the tile path of a routed net, from the source tile to the
+// destination tile inclusive.
+type Route struct {
+	Net  Net
+	Path []Coord
+}
+
+// Hops returns the number of tile-to-tile hops.
+func (r *Route) Hops() int { return len(r.Path) - 1 }
+
+// Routing is the complete routing result.
+type Routing struct {
+	Placement *Placement
+	Routes    []Route
+	// Use16 and Use1 record, per directed tile edge, the number of
+	// distinct source signals occupying tracks of each width.
+	Use16, Use1 map[[2]Coord]int
+	// srcs16/srcs1 record which sources occupy each edge.
+	srcs16, srcs1 map[[2]Coord]map[int]bool
+	Iterations    int
+}
+
+// RouteOptions tunes the negotiated-congestion router.
+type RouteOptions struct {
+	// MaxIterations bounds rip-up-and-reroute rounds; default 24.
+	MaxIterations int
+}
+
+// RouteAll routes every net of the placement using negotiated congestion
+// (PathFinder-style): each round routes all nets with edge costs that
+// grow with present and historical overuse; routing converges when no
+// track is oversubscribed. Sinks of one source are routed consecutively
+// and reuse the source's existing tracks at near-zero cost, forming
+// shared fanout trees.
+func RouteAll(p *Placement, opt RouteOptions) (*Routing, error) {
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 24
+	}
+	nets := collectNets(p.Mapped)
+	history := map[[2]Coord]float64{}
+	var r *Routing
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		r = &Routing{
+			Placement:  p,
+			Use16:      map[[2]Coord]int{},
+			Use1:       map[[2]Coord]int{},
+			srcs16:     map[[2]Coord]map[int]bool{},
+			srcs1:      map[[2]Coord]map[int]bool{},
+			Iterations: iter,
+		}
+		for _, net := range nets {
+			path, err := r.shortestPath(net, history)
+			if err != nil {
+				return nil, fmt.Errorf("cgra: net %d->%d: %w", net.Src, net.Dst, err)
+			}
+			r.claim(net, path)
+			r.Routes = append(r.Routes, Route{Net: net, Path: path})
+		}
+		over := 0
+		for e, u := range r.Use16 {
+			if u > p.Fabric.Tracks16 {
+				over++
+				history[e] += float64(u - p.Fabric.Tracks16)
+			}
+		}
+		for e, u := range r.Use1 {
+			if u > p.Fabric.Tracks1 {
+				over++
+				history[e] += float64(u-p.Fabric.Tracks1) * 2
+			}
+		}
+		if over == 0 {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("cgra: routing did not converge in %d iterations", opt.MaxIterations)
+}
+
+// claim records a routed path's track usage.
+func (r *Routing) claim(net Net, path []Coord) {
+	srcs, use := r.srcs16, r.Use16
+	if net.Bit {
+		srcs, use = r.srcs1, r.Use1
+	}
+	for i := 0; i+1 < len(path); i++ {
+		e := [2]Coord{path[i], path[i+1]}
+		if srcs[e] == nil {
+			srcs[e] = map[int]bool{}
+		}
+		if !srcs[e][net.Src] {
+			srcs[e][net.Src] = true
+			use[e]++
+		}
+	}
+}
+
+// collectNets derives the net list from the mapped graph, ordered by
+// source so fanout trees route consecutively.
+func collectNets(m *rewrite.Mapped) []Net {
+	var nets []Net
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		switch n.Kind {
+		case rewrite.KindPE:
+			for _, p := range n.DataIn {
+				nets = append(nets, Net{Src: p, Dst: i})
+			}
+			for _, p := range n.BitIn {
+				nets = append(nets, Net{Src: p, Dst: i, Bit: true})
+			}
+		default:
+			if n.Arg >= 0 {
+				nets = append(nets, Net{Src: n.Arg, Dst: i})
+			}
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool {
+		if nets[i].Src != nets[j].Src {
+			return nets[i].Src < nets[j].Src
+		}
+		if nets[i].Dst != nets[j].Dst {
+			return nets[i].Dst < nets[j].Dst
+		}
+		return !nets[i].Bit && nets[j].Bit
+	})
+	return nets
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	c    Coord
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// shortestPath finds the cheapest tile path for a net under the
+// congestion cost model, strongly preferring edges its source already
+// occupies (fanout sharing).
+func (r *Routing) shortestPath(net Net, history map[[2]Coord]float64) ([]Coord, error) {
+	src := r.Placement.Loc[net.Src]
+	dst := r.Placement.Loc[net.Dst]
+	if src == dst {
+		return []Coord{src}, nil
+	}
+	f := r.Placement.Fabric
+	srcs, use, capacity := r.srcs16, r.Use16, f.Tracks16
+	if net.Bit {
+		srcs, use, capacity = r.srcs1, r.Use1, f.Tracks1
+	}
+	dist := map[Coord]float64{src: 0}
+	prev := map[Coord]Coord{}
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.c == dst {
+			var path []Coord
+			for c := dst; ; {
+				path = append([]Coord{c}, path...)
+				if c == src {
+					break
+				}
+				c = prev[c]
+			}
+			return path, nil
+		}
+		if it.cost > dist[it.c] {
+			continue
+		}
+		for _, n := range f.Neighbors(it.c) {
+			// I/O ring sites route only as endpoints.
+			if f.onRing(n) && n != dst {
+				continue
+			}
+			e := [2]Coord{it.c, n}
+			var step float64
+			if srcs[e] != nil && srcs[e][net.Src] {
+				step = 0.05 // reuse our own signal's track
+			} else {
+				step = 1
+				if u := use[e]; u >= capacity {
+					step += 3 * float64(u-capacity+1)
+				}
+				step += history[e]
+			}
+			cost := it.cost + step
+			if d, ok := dist[n]; !ok || cost < d {
+				dist[n] = cost
+				prev[n] = it.c
+				heap.Push(q, pqItem{n, cost})
+			}
+		}
+	}
+	return nil, fmt.Errorf("no path %s -> %s", src, dst)
+}
+
+// RoutingOnlyTiles counts grid tiles traversed by routes whose cores are
+// unused (Table 3's "routing tiles" column).
+func (r *Routing) RoutingOnlyTiles() int {
+	usedCore := map[Coord]bool{}
+	for i := range r.Placement.Mapped.Nodes {
+		switch r.Placement.Mapped.Nodes[i].Kind {
+		case rewrite.KindPE, rewrite.KindRegFile, rewrite.KindMem, rewrite.KindRom:
+			usedCore[r.Placement.Loc[i]] = true
+		}
+	}
+	traversed := map[Coord]bool{}
+	for _, rt := range r.Routes {
+		for _, c := range rt.Path {
+			if r.Placement.Fabric.InGrid(c) {
+				traversed[c] = true
+			}
+		}
+	}
+	// Tiles hosting interconnect registers also count as routing tiles.
+	for i := range r.Placement.Mapped.Nodes {
+		if r.Placement.Mapped.Nodes[i].Kind == rewrite.KindReg {
+			traversed[r.Placement.Loc[i]] = true
+		}
+	}
+	n := 0
+	for c := range traversed {
+		if !usedCore[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalHops sums distinct (edge, source) track segments — the wire/SB
+// energy measure (shared fanout hops count once).
+func (r *Routing) TotalHops() int {
+	h := 0
+	for _, u := range r.Use16 {
+		h += u
+	}
+	for _, u := range r.Use1 {
+		h += u
+	}
+	return h
+}
+
+// MaxRouteHops returns the longest single-net hop count (sets the
+// interconnect's contribution to the critical path).
+func (r *Routing) MaxRouteHops() int {
+	max := 0
+	for _, rt := range r.Routes {
+		if rt.Hops() > max {
+			max = rt.Hops()
+		}
+	}
+	return max
+}
+
+// UsedSBTiles counts grid tiles whose switch box carries at least one
+// route (for SB energy/area roll-ups).
+func (r *Routing) UsedSBTiles() int {
+	tiles := map[Coord]bool{}
+	for _, rt := range r.Routes {
+		for _, c := range rt.Path {
+			if r.Placement.Fabric.InGrid(c) {
+				tiles[c] = true
+			}
+		}
+	}
+	return len(tiles)
+}

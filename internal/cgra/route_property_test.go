@@ -1,0 +1,130 @@
+package cgra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+	"repro/internal/rewrite"
+)
+
+// randomMapped builds a random small mapped design for router fuzzing.
+func randomMapped(t testing.TB, seed int64, nOps int) *rewrite.Mapped {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := ir.NewGraph("r")
+	var words []ir.NodeRef
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		words = append(words, g.Input(string(rune('a'+i))))
+	}
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUMin, ir.OpXor}
+	for i := 0; i < nOps; i++ {
+		a := words[rng.Intn(len(words))]
+		b := words[rng.Intn(len(words))]
+		words = append(words, g.OpNode(ops[rng.Intn(len(ops))], a, b))
+	}
+	g.Output("o", words[len(words)-1])
+	if rng.Intn(2) == 0 {
+		g.Output("o2", g.Mem(words[rng.Intn(len(words))]))
+	}
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	rs, err := rewrite.SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rewrite.MapApp(g, rs, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Property: on random designs and seeds, placement is legal and routing
+// (when it converges) produces adjacent-hop paths with correct endpoints
+// and within-capacity usage.
+func TestRoutePropertyRandomDesigns(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		m := randomMapped(t, seed, 3+int(sizeRaw%20))
+		fab := NewFabric(12, 6)
+		p, err := Place(m, fab, PlaceOptions{Seed: seed, Moves: 5000})
+		if err != nil {
+			return true // capacity misses are fine for random sizes
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		r, err := RouteAll(p, RouteOptions{})
+		if err != nil {
+			return true // congestion failure is allowed; wrong answers are not
+		}
+		for _, rt := range r.Routes {
+			if rt.Path[0] != p.Loc[rt.Net.Src] || rt.Path[len(rt.Path)-1] != p.Loc[rt.Net.Dst] {
+				return false
+			}
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if manhattan(rt.Path[i], rt.Path[i+1]) != 1 {
+					return false
+				}
+			}
+		}
+		for _, u := range r.Use16 {
+			if u > fab.Tracks16 {
+				return false
+			}
+		}
+		for _, u := range r.Use1 {
+			if u > fab.Tracks1 {
+				return false
+			}
+		}
+		// Bitstream generation must succeed and verify on any legal
+		// routing.
+		bs, err := GenerateBitstream(r)
+		if err != nil {
+			return false
+		}
+		return bs.VerifyAgainst(r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulation of a placed design equals direct mapped-graph
+// evaluation in steady state, for random designs.
+func TestSimulatePropertyRandomDesigns(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMapped(t, seed, 6)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		inputs := map[string][]uint16{}
+		evalIn := map[string]uint16{}
+		for i := range m.Nodes {
+			if m.Nodes[i].Kind == rewrite.KindInput {
+				v := uint16(rng.Intn(1 << 16))
+				inputs[m.Nodes[i].Name] = []uint16{v}
+				evalIn[m.Nodes[i].Name] = v
+			}
+		}
+		want, err := m.Eval(evalIn)
+		if err != nil {
+			return false
+		}
+		trace, err := Simulate(m, 0, inputs, 4)
+		if err != nil {
+			return false
+		}
+		for name, w := range want {
+			series := trace[name]
+			if series[len(series)-1] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

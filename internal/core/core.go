@@ -1,0 +1,331 @@
+// Package core is the top-level APEX framework API: application analysis
+// (frequent subgraph mining + maximal independent set ranking), PE
+// generation (datapath merging), compiler generation (rewrite-rule
+// synthesis), application mapping, automated pipelining, and CGRA
+// place-and-route evaluation — the complete flow of the paper's Fig. 6.
+//
+// Typical use:
+//
+//	fw := core.New()
+//	app := apps.Camera()
+//	ranked := fw.Analyze(app)
+//	variant, _ := fw.GeneratePE("camera_pe2", app.UsedOps(), ranked[:1])
+//	result, _ := fw.Evaluate(app, variant)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cgra"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/mining"
+	"repro/internal/mis"
+	"repro/internal/pe"
+	"repro/internal/pipeline"
+	"repro/internal/rewrite"
+	"repro/internal/tech"
+)
+
+// Framework bundles the models and options shared across the flow.
+type Framework struct {
+	Tech   *tech.Model
+	Fabric *cgra.Fabric
+	// MaxPatternNodes caps mined pattern size (paper's merged PEs come
+	// from small subgraphs, cf. Fig. 10).
+	MaxPatternNodes int
+	// PlaceSeed makes placement deterministic.
+	PlaceSeed int64
+	// PlaceMoves bounds annealing effort (0 = auto).
+	PlaceMoves int
+	// SkipPnR evaluates at the post-mapping level only (fast mode for
+	// Fig. 11/14-style results); place-and-route fields are zero.
+	SkipPnR bool
+	// AppPipelining enables application pipelining: every PE's output is
+	// registered (at least one stage) and branch delay matching balances
+	// the graph. Disabling it produces the paper's "pre-pipelining"
+	// results (Fig. 16), where combinational paths chain through
+	// consecutive PEs and routes.
+	AppPipelining bool
+}
+
+// New returns a framework with the paper's defaults: calibrated tech
+// model and the 32x16 evaluation fabric.
+func New() *Framework {
+	return &Framework{
+		Tech:            tech.Default(),
+		Fabric:          cgra.Default(),
+		MaxPatternNodes: 4,
+		PlaceSeed:       1,
+		AppPipelining:   true,
+	}
+}
+
+// Analysis is the result of mining one application: the compute view the
+// patterns embed into, and the MIS-ranked pattern list.
+type Analysis struct {
+	View   *graph.Graph
+	Ranked []mis.Ranked
+}
+
+// Analyze mines an application's compute view and ranks the frequent
+// subgraphs by maximal independent set size (paper Section 3.1-3.2).
+func (f *Framework) Analyze(app *apps.App) *Analysis {
+	view, _ := mining.ComputeView(app.Graph)
+	minSupport := app.ComputeOps() / 40
+	if minSupport < 4 {
+		minSupport = 4
+	}
+	pats := mining.Mine(view, mining.Options{
+		MinSupport: minSupport,
+		MaxNodes:   f.MaxPatternNodes,
+	})
+	return &Analysis{View: view, Ranked: mis.Rank(pats)}
+}
+
+// PEVariant is one generated PE design together with its compiler.
+type PEVariant struct {
+	Name      string
+	Spec      *pe.Spec
+	Pipelined *pipeline.PipelinedPE
+	Rules     *rewrite.RuleSet
+	// Baseline marks the paper's Fig. 1 general-purpose PE, whose
+	// area/energy come from the calibrated baseline model rather than
+	// the generated-datapath roll-up.
+	Baseline bool
+}
+
+// CoreArea returns the PE core area in um^2.
+func (v *PEVariant) CoreArea(m *tech.Model) float64 {
+	if v.Baseline {
+		return m.BaselinePECore().Area
+	}
+	return v.Pipelined.Area(m)
+}
+
+// ActivationEnergy returns the energy of one PE activation executing the
+// given rule.
+func (v *PEVariant) ActivationEnergy(r *rewrite.Rule, m *tech.Model) float64 {
+	if v.Baseline {
+		return m.BaselinePECore().Energy
+	}
+	return v.Spec.ActivationEnergy(r.Ops, m)
+}
+
+// ControlOps are always retained in generated PEs so domain PEs can run
+// applications whose control patterns were not in the analyzed set (the
+// baseline's LUT and select serve the same role).
+var ControlOps = []ir.Op{ir.OpSel, ir.OpLUT}
+
+// GeneratePE builds a specialized PE: the application-restricted baseline
+// (the paper's "PE 1") merged with the given ranked subgraphs in order
+// (PE 2 merges one, PE 3 two, and so on), plus the synthesized compiler
+// and automatic pipelining.
+func (f *Framework) GeneratePE(name string, baseOps []ir.Op, patterns []mis.Ranked) (*PEVariant, error) {
+	ops := withControlOps(baseOps)
+	dp := merge.BaselinePE(ops)
+	var named []rewrite.NamedPattern
+	for i, r := range patterns {
+		np, err := rewrite.PatternFromMined(r.Pattern.Graph, fmt.Sprintf("%s_sg%d", name, i))
+		if err != nil {
+			return nil, err
+		}
+		pdp, err := merge.FromPattern(np.Graph, np.Name)
+		if err != nil {
+			return nil, err
+		}
+		dp = merge.Merge(dp, pdp, merge.Options{Tech: f.Tech})
+		named = append(named, np)
+	}
+	spec := pe.FromDatapath(name, dp)
+	rules, err := rewrite.SynthesizeRuleSet(spec, named, ops)
+	if err != nil {
+		return nil, err
+	}
+	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	return &PEVariant{Name: name, Spec: spec, Pipelined: pp, Rules: rules}, nil
+}
+
+// GeneratePEFromPatterns is GeneratePE for already-converted patterns
+// (used when composing domain PEs from several applications' subgraphs).
+func (f *Framework) GeneratePEFromPatterns(name string, baseOps []ir.Op, named []rewrite.NamedPattern) (*PEVariant, error) {
+	ops := withControlOps(baseOps)
+	dp := merge.BaselinePE(ops)
+	for _, np := range named {
+		pdp, err := merge.FromPattern(np.Graph, np.Name)
+		if err != nil {
+			return nil, err
+		}
+		dp = merge.Merge(dp, pdp, merge.Options{Tech: f.Tech})
+	}
+	spec := pe.FromDatapath(name, dp)
+	rules, err := rewrite.SynthesizeRuleSet(spec, named, ops)
+	if err != nil {
+		return nil, err
+	}
+	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	return &PEVariant{Name: name, Spec: spec, Pipelined: pp, Rules: rules}, nil
+}
+
+// BaselinePE returns the paper's general-purpose baseline PE variant.
+func (f *Framework) BaselinePE() (*PEVariant, error) {
+	ops := ir.BaselineALUOps()
+	spec := pe.FromDatapath("baseline", merge.BaselinePE(ops))
+	rules, err := rewrite.SynthesizeRuleSet(spec, nil, ops)
+	if err != nil {
+		return nil, err
+	}
+	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	return &PEVariant{Name: "baseline", Spec: spec, Pipelined: pp, Rules: rules, Baseline: true}, nil
+}
+
+// RestrictedBaseline returns "PE 1": the baseline PE with only the
+// operations the application needs.
+func (f *Framework) RestrictedBaseline(name string, ops []ir.Op) (*PEVariant, error) {
+	return f.GeneratePE(name, ops, nil)
+}
+
+// SelectPatterns picks k subgraphs to merge, greedily maximizing the
+// number of PEs the instruction selector can actually save: each round
+// scores every remaining pattern by the compute nodes its *absorbable*
+// occurrences cover beyond the already-selected patterns (a weighted set
+// cover). An occurrence is absorbable when it is single-rooted and every
+// interior node's fanout stays inside the occurrence — the same
+// conditions the mapper enforces, so the score predicts real coverage.
+// This refines the paper's plain MIS-rank selection: a top-MIS pattern
+// whose occurrences overlap application fanout would waste a merge slot.
+func SelectPatterns(a *Analysis, k int) []mis.Ranked {
+	covered := map[graph.NodeID]bool{}
+	remaining := append([]mis.Ranked(nil), a.Ranked...)
+	var out []mis.Ranked
+	for len(out) < k && len(remaining) > 0 {
+		bestIdx, bestScore := -1, 0
+		var bestOccs []graph.Embedding
+		for i, r := range remaining {
+			perOcc := r.Pattern.ComputeSize() - 1
+			if perOcc <= 0 {
+				continue
+			}
+			occs := absorbableDisjoint(a.View, r, covered)
+			if score := len(occs) * perOcc; score > bestScore {
+				bestIdx, bestScore, bestOccs = i, score, occs
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for _, occ := range bestOccs {
+			for _, v := range occ {
+				covered[v] = true
+			}
+		}
+		out = append(out, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+// absorbableDisjoint returns a maximal set of pairwise-disjoint,
+// absorbable occurrences of the pattern that avoid covered nodes.
+func absorbableDisjoint(view *graph.Graph, r mis.Ranked, covered map[graph.NodeID]bool) []graph.Embedding {
+	p := r.Pattern.Graph
+	// Single sink required (rules are single-output).
+	sink := -1
+	for v := 0; v < p.NumNodes(); v++ {
+		if p.OutDegree(graph.NodeID(v)) == 0 {
+			if sink >= 0 {
+				return nil
+			}
+			sink = v
+		}
+	}
+	if sink < 0 {
+		return nil
+	}
+	var chosen []graph.Embedding
+	taken := map[graph.NodeID]bool{}
+	for _, occ := range r.Occurrences {
+		ok := true
+		inOcc := map[graph.NodeID]bool{}
+		for _, v := range occ {
+			inOcc[v] = true
+		}
+		for pi, v := range occ {
+			if covered[v] || taken[v] {
+				ok = false
+				break
+			}
+			// Interior compute nodes must have all users inside.
+			op := ir.OpByName(p.Label(graph.NodeID(pi)))
+			if pi == sink || !op.IsCompute() {
+				continue
+			}
+			for _, e := range view.Out(v) {
+				if !inOcc[e.To] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, v := range occ {
+			taken[v] = true
+		}
+		chosen = append(chosen, occ)
+	}
+	return chosen
+}
+
+// UnionOps returns the union of the applications' operation sets.
+func UnionOps(as []*apps.App) []ir.Op {
+	seen := map[ir.Op]bool{}
+	var ops []ir.Op
+	for _, a := range as {
+		for _, op := range a.UsedOps() {
+			if !seen[op] {
+				seen[op] = true
+				ops = append(ops, op)
+			}
+		}
+	}
+	return ops
+}
+
+// TopPatterns converts the top-k ranked subgraphs of an analysis into
+// named patterns (for domain-PE composition).
+func TopPatterns(name string, ranked []mis.Ranked, k int) ([]rewrite.NamedPattern, error) {
+	var out []rewrite.NamedPattern
+	for i := 0; i < k && i < len(ranked); i++ {
+		np, err := rewrite.PatternFromMined(ranked[i].Pattern.Graph, fmt.Sprintf("%s_sg%d", name, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, np)
+	}
+	return out, nil
+}
+
+func withControlOps(ops []ir.Op) []ir.Op {
+	seen := map[ir.Op]bool{}
+	var out []ir.Op
+	for _, op := range ops {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	for _, op := range ControlOps {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cgra"
+	"repro/internal/pipeline"
+	"repro/internal/rewrite"
+	"repro/internal/tech"
+)
+
+// Result is the full evaluation of one application on one PE variant:
+// utilization, area, energy, and performance at the post-mapping,
+// post-place-and-route, and post-pipelining levels the paper reports.
+type Result struct {
+	App     string
+	Variant string
+
+	// Utilization (Table 3 columns).
+	NumPEs       int
+	NumMems      int
+	NumRFs       int
+	NumIOs       int
+	NumRegs      int
+	RoutingTiles int
+
+	// Area (um^2).
+	PECoreArea  float64 // one PE core
+	TotalPEArea float64 // PECoreArea x NumPEs
+	SBArea      float64
+	CBArea      float64
+	MemArea     float64
+	RFArea      float64
+	TotalArea   float64
+
+	// Energy per output sample (pJ).
+	PEEnergy    float64
+	SBEnergy    float64
+	CBEnergy    float64
+	MemEnergy   float64
+	TotalEnergy float64
+
+	// Timing and performance.
+	PELatency    int     // PE pipeline stages
+	PeriodPS     float64 // achieved clock period
+	LatencyCyc   int     // input-to-output latency
+	CyclesPerRun float64 // cycles to produce all outputs
+	RuntimeMS    float64
+	// PerfPerMM2 is outputs per millisecond per mm^2 (frames/ms/mm^2 for
+	// the image applications once divided by the frame size — Table 2
+	// reports it per frame; see eval.Table2).
+	PerfPerMM2 float64
+
+	// Mapped and physical artifacts for further inspection.
+	Mapped   *rewrite.Mapped
+	Balanced *rewrite.Mapped
+	Routing  *cgra.Routing
+}
+
+// Evaluate runs the full backend for one (application, PE variant) pair:
+// instruction selection, branch-delay matching with register-file
+// substitution, placement, routing, and metric roll-ups.
+func (f *Framework) Evaluate(app *apps.App, v *PEVariant) (*Result, error) {
+	mapped, err := rewrite.MapApp(app.Graph, v.Rules, app.Name+"@"+v.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
+	}
+	peLat := 0
+	if f.AppPipelining {
+		peLat = v.Pipelined.Stages
+		if peLat < 1 {
+			peLat = 1 // every PE output is registered in the fabric
+		}
+	}
+	balanced, report := pipeline.BalanceApp(mapped, pipeline.AppOptions{PELatency: peLat})
+
+	r := &Result{
+		App:        app.Name,
+		Variant:    v.Name,
+		NumPEs:     mapped.NumPEs(),
+		NumMems:    mapped.NumMems(),
+		NumRFs:     balanced.NumRegFiles(),
+		NumIOs:     mapped.NumIO(),
+		NumRegs:    balanced.NumRegs(),
+		PELatency:  peLat,
+		LatencyCyc: report.TotalLatency,
+		Mapped:     mapped,
+		Balanced:   balanced,
+	}
+
+	if !f.SkipPnR {
+		placed, err := cgra.Place(balanced, f.Fabric, cgra.PlaceOptions{Seed: f.PlaceSeed, Moves: f.PlaceMoves})
+		if err != nil {
+			return nil, fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
+		}
+		routing, err := cgra.RouteAll(placed, cgra.RouteOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
+		}
+		r.Routing = routing
+		r.RoutingTiles = routing.RoutingOnlyTiles()
+	}
+
+	f.fillMetrics(app, v, r)
+	return r, nil
+}
+
+// fillMetrics computes the area/energy/performance roll-ups.
+func (f *Framework) fillMetrics(app *apps.App, v *PEVariant, r *Result) {
+	m := f.Tech
+
+	// --- Area.
+	r.PECoreArea = v.CoreArea(m)
+	r.TotalPEArea = r.PECoreArea * float64(r.NumPEs)
+	r.MemArea = m.MemTile().Area * float64(r.NumMems)
+	r.RFArea = m.Unit("regfile").Area * float64(r.NumRFs)
+
+	in16, in1 := v.Spec.NumDataInputs(), v.Spec.NumBitInputs()
+	cbPerTile := m.ConnectionBox(in16, in1)
+	r.CBArea = cbPerTile.Area * float64(r.NumPEs+r.NumMems)
+
+	sbTiles := r.NumPEs + r.NumMems + r.RoutingTiles
+	if r.Routing != nil {
+		sbTiles = r.Routing.UsedSBTiles()
+	}
+	r.SBArea = m.SwitchBox().Area*float64(sbTiles) +
+		m.Unit("pipereg").Area*float64(r.NumRegs)
+	r.TotalArea = r.TotalPEArea + r.MemArea + r.RFArea + r.CBArea + r.SBArea
+
+	// --- Energy per produced output batch (one steady-state cycle
+	// produces app.Unroll outputs), then normalized per output.
+	peE := 0.0
+	cbE := 0.0
+	for i := range r.Mapped.Nodes {
+		n := &r.Mapped.Nodes[i]
+		if n.Kind != rewrite.KindPE {
+			continue
+		}
+		peE += v.ActivationEnergy(n.Rule, m)
+		cbE += m.Unit("cb16").Energy * float64(len(n.DataIn))
+		cbE += m.Unit("cb1").Energy * float64(len(n.BitIn))
+	}
+	memE := m.MemTile().Energy * float64(r.NumMems)
+	cbE += m.Unit("cb16").Energy * float64(r.NumMems) // memory tile inputs
+	sbE := 0.0
+	if r.Routing != nil {
+		sbE = float64(r.Routing.TotalHops()) * (m.Unit("sbtrack").Energy + m.Unit("wire").Energy)
+	} else {
+		// Post-mapping estimate: average 2 hops per net.
+		nets := 0
+		for i := range r.Mapped.Nodes {
+			nets += len(r.Mapped.Nodes[i].Producers())
+		}
+		sbE = float64(2*nets) * (m.Unit("sbtrack").Energy + m.Unit("wire").Energy)
+	}
+	sbE += m.Unit("pipereg").Energy * float64(r.NumRegs)
+	memE += m.Unit("regfile").Energy * float64(r.NumRFs)
+
+	unroll := float64(app.Unroll)
+	if unroll < 1 {
+		unroll = 1
+	}
+	r.PEEnergy = peE / unroll
+	r.CBEnergy = cbE / unroll
+	r.SBEnergy = sbE / unroll
+	r.MemEnergy = memE / unroll
+	r.TotalEnergy = r.PEEnergy + r.CBEnergy + r.SBEnergy + r.MemEnergy
+
+	// --- Timing: the fabric runs at the paper's global 1.1 ns clock;
+	// the period only grows beyond it when unpipelined combinational
+	// paths (pre-pipelining mode) cannot fit.
+	r.PeriodPS = f.criticalPathPS(v, r)
+	if r.PeriodPS < tech.ClockPeriodPS {
+		r.PeriodPS = tech.ClockPeriodPS
+	}
+	cycles := float64(app.TotalOutputs)/unroll + float64(r.LatencyCyc)
+	r.CyclesPerRun = cycles
+	r.RuntimeMS = cycles * r.PeriodPS * 1e-9 // ps -> ms
+	if r.TotalArea > 0 && r.RuntimeMS > 0 {
+		outPerMS := float64(app.TotalOutputs) / r.RuntimeMS
+		r.PerfPerMM2 = outPerMS / (r.TotalArea * 1e-6) // um^2 -> mm^2
+	}
+}
+
+// criticalPathPS estimates the post-PnR clock period: the slowest PE
+// pipeline stage, extended by unregistered PE-to-PE interconnect
+// segments. When the design is unpipelined (PE stages = 0 and no
+// balancing registers), combinational paths chain through consecutive
+// PEs and routes — the "pre-pipelining" rows of Fig. 16.
+func (f *Framework) criticalPathPS(v *PEVariant, r *Result) float64 {
+	m := f.Tech
+	sbHop := m.Unit("sb").Delay
+	cb := m.Unit("cb16").Delay
+	peDelay := v.Pipelined.PeriodPS
+
+	routeHops := map[[2]int]int{}
+	if r.Routing != nil {
+		for _, rt := range r.Routing.Routes {
+			routeHops[[2]int{rt.Net.Src, rt.Net.Dst}] = rt.Hops()
+		}
+	}
+	hopsOf := func(src, dst int) float64 {
+		h := 2.0 // post-mapping estimate
+		if rh, ok := routeHops[[2]int{src, dst}]; ok {
+			h = float64(rh)
+		}
+		// With application pipelining on, the switch boxes' per-track
+		// pipeline registers (paper Section 4.3) break long routes, so
+		// at most a couple of hops sit between registers.
+		if f.AppPipelining && h > 2 {
+			h = 2
+		}
+		return h
+	}
+
+	mapped := r.Balanced
+	if mapped == nil {
+		mapped = r.Mapped
+	}
+	// Longest register-to-register combinational path over the mapped
+	// graph: registers cut paths at PEs with stages>0, interconnect
+	// registers, FIFOs, and memories.
+	cp := make([]float64, len(mapped.Nodes))
+	worst := peDelay
+	for _, i := range mapped.TopoOrder() {
+		n := &mapped.Nodes[i]
+		in := 0.0
+		for _, p := range n.Producers() {
+			d := cp[p] + hopsOf(p, i)*sbHop
+			if d > in {
+				in = d
+			}
+		}
+		var own float64
+		registered := false
+		switch n.Kind {
+		case rewrite.KindPE:
+			own = peDelay + cb
+			registered = f.AppPipelining
+		case rewrite.KindMem, rewrite.KindRom:
+			own = m.Unit("memctrl").Delay
+			registered = true
+		case rewrite.KindReg, rewrite.KindRegFile:
+			own = m.Unit("pipereg").Delay
+			registered = true
+		case rewrite.KindOutput:
+			own = m.Unit("iopad").Delay
+		}
+		total := in + own
+		if total > worst {
+			worst = total
+		}
+		if registered {
+			cp[i] = 0
+		} else {
+			cp[i] = total
+		}
+	}
+	return worst
+}

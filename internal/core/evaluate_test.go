@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/tech"
+)
+
+func TestPeriodClampedToFabricClock(t *testing.T) {
+	fw := New()
+	fw.SkipPnR = true
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fw.Evaluate(apps.Gaussian(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeriodPS != tech.ClockPeriodPS {
+		t.Errorf("post-pipelining period = %.0f, want the %.0f ps fabric clock",
+			r.PeriodPS, tech.ClockPeriodPS)
+	}
+}
+
+func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
+	fw := New()
+	fw.SkipPnR = true
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.Unsharp() // longest combinational chains in the suite
+	fw.AppPipelining = false
+	pre, err := fw.Evaluate(app, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.AppPipelining = true
+	post, err := fw.Evaluate(app, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.PeriodPS < 5*post.PeriodPS {
+		t.Errorf("pre-pipelining period %.0f not dramatically worse than post %.0f",
+			pre.PeriodPS, post.PeriodPS)
+	}
+	if pre.LatencyCyc > post.LatencyCyc {
+		t.Errorf("unpipelined design has higher cycle latency (%d vs %d)?",
+			pre.LatencyCyc, post.LatencyCyc)
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	fw := New()
+	fw.SkipPnR = true
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*apps.App{apps.Camera(), apps.ResNet()} {
+		r, err := fw.Evaluate(a, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := r.PEEnergy + r.SBEnergy + r.CBEnergy + r.MemEnergy
+		if diff := sum - r.TotalEnergy; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: breakdown %.6f != total %.6f", a.Name, sum, r.TotalEnergy)
+		}
+	}
+}
+
+func TestAreaBreakdownSumsToTotal(t *testing.T) {
+	fw := New()
+	fw.SkipPnR = true
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fw.Evaluate(apps.Harris(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.TotalPEArea + r.SBArea + r.CBArea + r.MemArea + r.RFArea
+	if diff := sum - r.TotalArea; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("area breakdown %.3f != total %.3f", sum, r.TotalArea)
+	}
+}
+
+func TestPnRRefinesRoutingMetrics(t *testing.T) {
+	fw := New()
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.Laplacian() // small, quick to place and route
+	fw.SkipPnR = true
+	fast, err := fw.Evaluate(app, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.SkipPnR = false
+	full, err := fw.Evaluate(app, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Routing != nil {
+		t.Error("fast mode produced routing")
+	}
+	if full.Routing == nil {
+		t.Fatal("full mode produced no routing")
+	}
+	if full.RoutingTiles <= 0 {
+		t.Error("full mode reported no routing-only tiles")
+	}
+	// Utilization counts identical across modes (they come from mapping).
+	if fast.NumPEs != full.NumPEs || fast.NumMems != full.NumMems {
+		t.Error("PnR changed mapping-level utilization")
+	}
+}
+
+func TestBaselineEnergyUsesBaselineModel(t *testing.T) {
+	fw := New()
+	fw.SkipPnR = true
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.Gaussian()
+	r, err := fw.Evaluate(app, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-output PE energy = #PEs x baseline activation / unroll.
+	want := float64(r.NumPEs) * fw.Tech.BaselinePECore().Energy / float64(app.Unroll)
+	if diff := r.PEEnergy - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("baseline PE energy %.6f != %d x %.6f / %d", r.PEEnergy, r.NumPEs,
+			fw.Tech.BaselinePECore().Energy, app.Unroll)
+	}
+}

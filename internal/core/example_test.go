@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Example demonstrates the complete APEX flow on the camera pipeline:
+// analyze, generate a specialized PE, and evaluate it post-mapping.
+func Example() {
+	fw := core.New()
+	fw.SkipPnR = true // post-mapping level for a fast example
+
+	app := apps.Camera()
+	analysis := fw.Analyze(app)
+	chosen := core.SelectPatterns(analysis, 2)
+
+	variant, err := fw.GeneratePE("camera_pe3", app.UsedOps(), chosen)
+	if err != nil {
+		panic(err)
+	}
+	result, err := fw.Evaluate(app, variant)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("camera maps onto %d specialized PEs (baseline needs %d)\n",
+		result.NumPEs, app.ComputeOps())
+	// Output:
+	// camera maps onto 196 specialized PEs (baseline needs 232)
+}
+
+// ExampleFramework_BaselinePE shows the calibrated general-purpose PE.
+func ExampleFramework_BaselinePE() {
+	fw := core.New()
+	base, err := fw.BaselinePE()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("baseline PE core: %.2f um^2, %d rewrite rules\n",
+		base.CoreArea(fw.Tech), len(base.Rules.Rules))
+	// Output:
+	// baseline PE core: 988.81 um^2, 67 rewrite rules
+}

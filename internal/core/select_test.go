@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/mining"
+	"repro/internal/mis"
+)
+
+// selView builds a small graph where the top-MIS pattern is NOT
+// absorbable (its interior has external fanout), but a smaller pattern
+// is. SelectPatterns must prefer the absorbable one.
+func selView(t *testing.T) (*Analysis, string, string) {
+	t.Helper()
+	g := ir.NewGraph("sel")
+	// Four occurrences of mul -> add where the mul ALSO feeds a second
+	// consumer (so mul->add is never absorbable), plus four occurrences
+	// of sub -> abs with single-use interiors (absorbable).
+	for k := 0; k < 4; k++ {
+		a := g.Input("a")
+		b := g.Input("b")
+		m := g.OpNode(ir.OpMul, a, b)
+		s1 := g.OpNode(ir.OpAdd, m, b)
+		s2 := g.OpNode(ir.OpLshr, m, g.Const(1)) // second user of m
+		g.Output("o1", s1)
+		g.Output("o2", s2)
+
+		d := g.OpNode(ir.OpSub, a, b)
+		g.Output("o3", g.OpNode(ir.OpAbs, d))
+	}
+	view, _ := mining.ComputeView(g)
+	pats := mining.Mine(view, mining.Options{MinSupport: 3, MaxNodes: 2})
+	ranked := mis.Rank(pats)
+
+	mulAdd := graph.New()
+	mm := mulAdd.AddNode("mul")
+	aa := mulAdd.AddNode("add")
+	mulAdd.AddEdge(mm, aa, 0)
+
+	subAbs := graph.New()
+	ss := subAbs.AddNode("sub")
+	bb := subAbs.AddNode("abs")
+	subAbs.AddEdge(ss, bb, 0)
+
+	return &Analysis{View: view, Ranked: ranked},
+		graph.CanonicalCode(mulAdd), graph.CanonicalCode(subAbs)
+}
+
+func TestSelectPatternsPrefersAbsorbable(t *testing.T) {
+	an, mulAddCode, subAbsCode := selView(t)
+	// Both patterns should be mined with MIS 4.
+	foundMulAdd, foundSubAbs := false, false
+	for _, r := range an.Ranked {
+		if r.Pattern.Code == mulAddCode {
+			foundMulAdd = true
+		}
+		if r.Pattern.Code == subAbsCode {
+			foundSubAbs = true
+		}
+	}
+	if !foundMulAdd || !foundSubAbs {
+		t.Fatalf("expected both test patterns mined (mulAdd=%v subAbs=%v)", foundMulAdd, foundSubAbs)
+	}
+	chosen := SelectPatterns(an, 1)
+	if len(chosen) != 1 {
+		t.Fatalf("chose %d patterns", len(chosen))
+	}
+	if chosen[0].Pattern.Code == mulAddCode {
+		t.Fatal("selected the unabsorbable mul->add pattern")
+	}
+	if chosen[0].Pattern.Code != subAbsCode {
+		t.Logf("note: selected %s (another absorbable pattern)", chosen[0].Pattern.Code)
+	}
+}
+
+func TestSelectPatternsRespectsK(t *testing.T) {
+	fw := New()
+	an := fw.Analyze(apps.Camera())
+	for k := 0; k <= 4; k++ {
+		chosen := SelectPatterns(an, k)
+		if len(chosen) > k {
+			t.Errorf("k=%d: selected %d", k, len(chosen))
+		}
+	}
+}
+
+func TestSelectPatternsDisjointCoverage(t *testing.T) {
+	// Patterns selected in later rounds must add coverage: re-selecting
+	// with a larger k keeps earlier choices as a prefix.
+	fw := New()
+	an := fw.Analyze(apps.Harris())
+	two := SelectPatterns(an, 2)
+	three := SelectPatterns(an, 3)
+	if len(two) >= 1 && len(three) >= 1 && two[0].Pattern.Code != three[0].Pattern.Code {
+		t.Error("greedy selection not prefix-stable")
+	}
+	if len(two) >= 2 && len(three) >= 2 && two[1].Pattern.Code != three[1].Pattern.Code {
+		t.Error("second choice not prefix-stable")
+	}
+}
+
+func TestSelectPatternsSkipsMultiRooted(t *testing.T) {
+	// A multi-sink pattern can never become a rewrite rule; selection
+	// must never return one.
+	fw := New()
+	for _, a := range apps.AnalyzedIP() {
+		an := fw.Analyze(a)
+		for _, r := range SelectPatterns(an, 4) {
+			sinks := 0
+			for v := 0; v < r.Pattern.Graph.NumNodes(); v++ {
+				if r.Pattern.Graph.OutDegree(graph.NodeID(v)) == 0 {
+					sinks++
+				}
+			}
+			if sinks != 1 {
+				t.Errorf("%s: selected pattern with %d sinks: %s", a.Name, sinks, r.Pattern.Code)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// The tests run the harness in fast mode (post-mapping, no PnR) and
+// assert the paper's qualitative shapes: who wins, and in roughly what
+// direction. Full place-and-route numbers are exercised by the benchmark
+// harness and cmd/apex-eval.
+
+func fastHarness() *Harness {
+	h := NewHarness()
+	h.FastMode = true
+	return h
+}
+
+func TestTable1ListsNineApps(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	md := tab.Markdown()
+	for _, name := range apps.Names() {
+		if !strings.Contains(md, name) {
+			t.Errorf("missing app %s", name)
+		}
+	}
+}
+
+func TestFig3PatternsHaveFourOccurrences(t *testing.T) {
+	_, pats := Fig3()
+	if len(pats) == 0 {
+		t.Fatal("no patterns")
+	}
+	four := 0
+	for _, p := range pats {
+		if len(p.Embeddings) == 4 {
+			four++
+		}
+	}
+	if four < 3 {
+		t.Errorf("patterns with 4 occurrences = %d, paper shows 3", four)
+	}
+}
+
+func TestFig4MISIsTwo(t *testing.T) {
+	_, r := Fig4()
+	if len(r.Occurrences) != 4 || r.MISSize != 2 {
+		t.Fatalf("occ=%d mis=%d, paper says 4 and 2", len(r.Occurrences), r.MISSize)
+	}
+}
+
+func TestFig5SharesAddersAndConst(t *testing.T) {
+	_, merged := Fig5()
+	c := merged.Count()
+	if c.FUs != 3 || c.Consts != 1 {
+		t.Fatalf("merged FUs=%d consts=%d, want 3 and 1", c.FUs, c.Consts)
+	}
+	if c.Muxes == 0 {
+		t.Error("merge should introduce a mux")
+	}
+}
+
+func TestCameraLadderShapes(t *testing.T) {
+	h := fastHarness()
+	_, rungs, err := h.CameraLadder(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rungs) != 5 {
+		t.Fatalf("rungs = %d", len(rungs))
+	}
+	base, pe1, pe4 := rungs[0], rungs[1], rungs[4]
+	// Paper Table 2: PE base 232 PEs at 988.81 um^2.
+	if base.NumPEs != 232 {
+		t.Errorf("base #PE = %d, want 232", base.NumPEs)
+	}
+	if base.AreaPerPE < 980 || base.AreaPerPE > 1000 {
+		t.Errorf("base area/PE = %.2f, want ~988.81", base.AreaPerPE)
+	}
+	// PE 1 keeps the PE count but sheds most of the area (paper: 294 of
+	// 988; ours lands near 460 — same direction, documented delta).
+	if pe1.NumPEs != 232 {
+		t.Errorf("PE1 #PE = %d, want 232", pe1.NumPEs)
+	}
+	if pe1.AreaPerPE >= base.AreaPerPE/1.8 {
+		t.Errorf("PE1 area/PE %.1f not well below base %.1f", pe1.AreaPerPE, base.AreaPerPE)
+	}
+	// Specialization reduces PE count and total area monotonically-ish
+	// down the ladder (paper: 232 -> 152; ours 232 -> 180).
+	if pe4.NumPEs >= base.NumPEs {
+		t.Errorf("PE4 #PE = %d, no reduction", pe4.NumPEs)
+	}
+	if pe4.TotalArea >= base.TotalArea*0.6 {
+		t.Errorf("PE4 total area %.0f not under 60%% of base %.0f", pe4.TotalArea, base.TotalArea)
+	}
+	// Energy reduction (paper: up to 68% less; ours ~50%).
+	if pe4.PEEnergy >= base.PEEnergy*0.7 {
+		t.Errorf("PE4 energy %.2f not under 70%% of base %.2f", pe4.PEEnergy, base.PEEnergy)
+	}
+	// Performance per mm^2 rises with specialization (paper: 4x; shape
+	// check: at least 1.5x).
+	if pe4.PerfPerMM2 < base.PerfPerMM2*1.5 {
+		t.Errorf("PE4 perf/mm^2 %.2f < 1.5x base %.2f", pe4.PerfPerMM2, base.PerfPerMM2)
+	}
+}
+
+func TestFig12OverMergingGrowsThePE(t *testing.T) {
+	h := fastHarness()
+	_, results, err := h.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: merging too many subgraphs (PE IP2) can increase area and
+	// energy. In this reproduction the per-PE core strictly grows with
+	// every merged subgraph; whether the total crosses over depends on
+	// how many of the extra rules still apply (our constant-variant
+	// rules keep them applicable longer than the paper's flow —
+	// EXPERIMENTS.md discusses the divergence). Assert the robust part:
+	// the over-merged PE core is strictly bigger, and per-PE area grows
+	// faster than the PE count shrinks on at least one application.
+	for app, byVariant := range results {
+		ip, ip2 := byVariant["pe_ip"], byVariant["pe_ip2"]
+		if ip == nil || ip2 == nil {
+			t.Fatalf("%s missing variants", app)
+		}
+		if ip2.PECoreArea <= ip.PECoreArea {
+			t.Errorf("%s: IP2 core %.1f not above IP core %.1f", app, ip2.PECoreArea, ip.PECoreArea)
+		}
+	}
+	worse := 0
+	for _, byVariant := range results {
+		if byVariant["pe_ip2"].TotalPEArea > byVariant["pe_ip"].TotalPEArea {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Error("IP2 never worse than IP in total area — the Fig. 12 trade-off vanished entirely")
+	}
+	// Every IP variant still beats the baseline on every app.
+	for app, byVariant := range results {
+		for name, r := range byVariant {
+			if name == "base" {
+				continue
+			}
+			if r.TotalPEArea >= byVariant["base"].TotalPEArea {
+				t.Errorf("%s on %s: area %.0f not below baseline %.0f",
+					name, app, r.TotalPEArea, byVariant["base"].TotalPEArea)
+			}
+		}
+	}
+}
+
+func TestFig13UnseenAppsStillBenefit(t *testing.T) {
+	h := fastHarness()
+	_, results, err := h.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("unseen apps = %d, want 3", len(results))
+	}
+	for app, pair := range results {
+		base, ip := pair[0], pair[1]
+		// Paper: 12-25% area and 66-78% energy reduction on unseen apps.
+		if ip.TotalPEArea >= base.TotalPEArea {
+			t.Errorf("%s: PE IP area %.0f not below baseline %.0f", app, ip.TotalPEArea, base.TotalPEArea)
+		}
+		if ip.PEEnergy >= base.PEEnergy*0.5 {
+			t.Errorf("%s: PE IP energy %.2f not under half of baseline %.2f (paper: -66%% to -78%%)",
+				app, ip.PEEnergy, base.PEEnergy)
+		}
+	}
+}
+
+func TestFig14DomainAndSpecWin(t *testing.T) {
+	h := fastHarness()
+	_, results, err := h.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, byVariant := range results {
+		var baseArea float64
+		for name, r := range byVariant {
+			if name == "baseline" {
+				baseArea = r.TotalPEArea
+			}
+		}
+		for name, r := range byVariant {
+			if name == "baseline" {
+				continue
+			}
+			if r.TotalPEArea >= baseArea {
+				t.Errorf("%s/%s: area %.0f not below baseline %.0f", app, name, r.TotalPEArea, baseArea)
+			}
+		}
+		// ML apps: paper reports 74-80%/our ~72% area reduction for PE ML.
+		if app == "resnet" || app == "mobilenet" {
+			for name, r := range byVariant {
+				if name == "pe_ml" && r.TotalPEArea > baseArea*0.8 {
+					t.Errorf("%s: PE ML reduction too small (%.0f vs %.0f)", app, r.TotalPEArea, baseArea)
+				}
+			}
+		}
+	}
+}
+
+func TestFig17OrderingHolds(t *testing.T) {
+	h := fastHarness()
+	tab, err := h.Fig17(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per app: FPGA worst energy, then CGRA base > CGRA IP > ASIC.
+	var cur map[string]float64
+	check := func(app string) {
+		if cur == nil {
+			return
+		}
+		if !(cur["FPGA"] > cur["CGRA base"] && cur["CGRA base"] > cur["CGRA IP"] && cur["CGRA IP"] > cur["ASIC"]) {
+			t.Errorf("%s: energy ordering violated: %v", app, cur)
+		}
+	}
+	lastApp := ""
+	for _, row := range tab.Rows {
+		if row[0] != lastApp {
+			check(lastApp)
+			cur = map[string]float64{}
+			lastApp = row[0]
+		}
+		var e float64
+		if _, err := fmtSscan(row[2], &e); err != nil {
+			t.Fatal(err)
+		}
+		cur[row[1]] = e
+	}
+	check(lastApp)
+}
+
+func TestFig18SimbaMoreEfficient(t *testing.T) {
+	h := fastHarness()
+	tab, err := h.Fig18(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		if byApp[row[0]] == nil {
+			byApp[row[0]] = map[string]float64{}
+		}
+		var e float64
+		if _, err := fmtSscan(row[2], &e); err != nil {
+			t.Fatal(err)
+		}
+		byApp[row[0]][row[1]] = e
+	}
+	for app, es := range byApp {
+		// Paper: Simba is ~16x more energy-efficient than CGRA-ML on
+		// ResNet; the ordering must be FPGA >> CGRA base >= CGRA ML > Simba.
+		if !(es["FPGA"] > es["CGRA base"] && es["CGRA base"] >= es["CGRA ML"] && es["CGRA ML"] > es["Simba"]) {
+			t.Errorf("%s: ordering violated: %v", app, es)
+		}
+		ratio := es["CGRA ML"] / es["Simba"]
+		if app == "resnet" && (ratio < 4 || ratio > 40) {
+			t.Errorf("resnet: CGRA-ML/Simba = %.1f, paper reports ~16x", ratio)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := Table1()
+	md := tab.Markdown()
+	if !strings.HasPrefix(md, "### Table 1") {
+		t.Error("missing heading")
+	}
+	if strings.Count(md, "|") < 20 {
+		t.Error("table body missing")
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	x, err := strconv.ParseFloat(s, 64)
+	*v = x
+	return 1, err
+}

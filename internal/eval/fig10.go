@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Fig10 reproduces the paper's Fig. 10: which mined subgraphs form each
+// PE variant, and the resulting PE architectures (functional units,
+// constants, inputs, muxes, pipeline stages).
+func (h *Harness) Fig10() (*Table, error) {
+	t := &Table{
+		ID:      "Fig. 10",
+		Title:   "Subgraphs merged into each PE variant and resulting architectures",
+		Headers: []string{"Variant", "Subgraphs (canonical codes)", "FUs", "Consts", "Inputs", "Muxes", "Stages", "Core area note"},
+	}
+	addVariant := func(label string, v *core.PEVariant, subgraphs []string) {
+		c := v.Spec.DP.Count()
+		sg := "—"
+		if len(subgraphs) > 0 {
+			sg = ""
+			for i, s := range subgraphs {
+				if i > 0 {
+					sg = sg + "; "
+				}
+				sg += s
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			label, sg, d(c.FUs), d(c.Consts), d(c.Inputs), d(c.Muxes),
+			d(v.Pipelined.Stages), fmt.Sprintf("%.0f um^2", v.CoreArea(h.FW.Tech)),
+		})
+	}
+
+	// Camera ladder PE 1..4.
+	camera := apps.Camera()
+	for k := 1; k <= 4; k++ {
+		v, err := h.LadderPE(camera, k)
+		if err != nil {
+			return nil, err
+		}
+		var codes []string
+		for _, r := range core.SelectPatterns(h.Analysis(camera), k-1) {
+			codes = append(codes, r.Pattern.Code)
+		}
+		addVariant(fmt.Sprintf("camera PE %d", k), v, codes)
+	}
+	// PE Spec for the remaining image applications.
+	for _, a := range []*apps.App{apps.Harris(), apps.Gaussian(), apps.Unsharp()} {
+		v, err := h.SpecializedPE(a)
+		if err != nil {
+			return nil, err
+		}
+		var codes []string
+		for _, r := range core.SelectPatterns(h.Analysis(a), 3) {
+			codes = append(codes, r.Pattern.Code)
+		}
+		addVariant("PE Spec "+a.Name, v, codes)
+	}
+	// Domain PEs.
+	ip, err := h.PEIP()
+	if err != nil {
+		return nil, err
+	}
+	var ipCodes []string
+	for _, a := range apps.AnalyzedIP() {
+		for _, r := range core.SelectPatterns(h.Analysis(a), 1) {
+			ipCodes = append(ipCodes, a.Name+": "+r.Pattern.Code)
+		}
+	}
+	addVariant("PE IP", ip, ipCodes)
+
+	ml, err := h.PEML()
+	if err != nil {
+		return nil, err
+	}
+	var mlCodes []string
+	for _, a := range apps.AnalyzedML() {
+		for _, r := range core.SelectPatterns(h.Analysis(a), 2) {
+			mlCodes = append(mlCodes, a.Name+": "+r.Pattern.Code)
+		}
+	}
+	addVariant("PE ML", ml, mlCodes)
+	return t, nil
+}

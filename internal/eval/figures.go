@@ -1,0 +1,597 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/mining"
+	"repro/internal/mis"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — application list
+// ---------------------------------------------------------------------------
+
+// Table1 reproduces the application table.
+func Table1() *Table {
+	t := &Table{
+		ID:      "Table 1",
+		Title:   "Applications used for DSE framework evaluation",
+		Headers: []string{"Application", "Domain", "Analyzed", "Compute ops", "Description"},
+	}
+	for _, a := range apps.All() {
+		seen := "yes"
+		if !a.Seen {
+			seen = "no (Fig. 13)"
+		}
+		t.Rows = append(t.Rows, []string{a.Name, string(a.Domain), seen, d(a.ComputeOps()), a.Description})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 / Fig. 4 / Fig. 5 — methodology examples on the conv graph
+// ---------------------------------------------------------------------------
+
+// ConvExample builds the paper's Fig. 3a convolution.
+func ConvExample() *ir.Graph {
+	g := ir.NewGraph("conv")
+	var acc ir.NodeRef = -1
+	for k := 0; k < 4; k++ {
+		in := g.Input(fmt.Sprintf("i%d", k))
+		w := g.Const(uint16(k + 1))
+		m := g.OpNode(ir.OpMul, in, w)
+		if acc < 0 {
+			acc = m
+		} else {
+			acc = g.OpNode(ir.OpAdd, acc, m)
+		}
+	}
+	g.Output("out", g.OpNode(ir.OpAdd, acc, g.Const(42)))
+	return g
+}
+
+// Fig3 mines the convolution and reports the most frequent subgraphs
+// (the paper's three have four occurrences each).
+func Fig3() (*Table, []mining.Pattern) {
+	view, _ := mining.ComputeView(ConvExample())
+	pats := mining.Mine(view, mining.Options{MinSupport: 3, MaxNodes: 3})
+	t := &Table{
+		ID:      "Fig. 3",
+		Title:   "Frequent subgraph mining on the convolution graph",
+		Headers: []string{"Pattern", "Occurrences", "MNI support", "Nodes"},
+	}
+	for _, p := range pats {
+		t.Rows = append(t.Rows, []string{p.Code, d(len(p.Embeddings)), d(p.Support), d(p.Size())})
+	}
+	return t, pats
+}
+
+// Fig4 runs MIS analysis on the Fig. 3d subgraph (mul->add->add): four
+// occurrences, MIS size two.
+func Fig4() (*Table, mis.Ranked) {
+	view, _ := mining.ComputeView(ConvExample())
+	p := graph.New()
+	m := p.AddNode("mul")
+	a1 := p.AddNode("add")
+	a2 := p.AddNode("add")
+	p.AddEdge(m, a1, 0)
+	p.AddEdge(a1, a2, 0)
+	embs := graph.FindEmbeddings(p, view, graph.EmbedOptions{})
+	r := mis.Analyze(mining.Pattern{Graph: p, Code: graph.CanonicalCode(p), Embeddings: embs, Support: len(embs)})
+	t := &Table{
+		ID:      "Fig. 4",
+		Title:   "Maximal independent set analysis of subgraph C",
+		Headers: []string{"Occurrences", "MIS size", "Exact"},
+		Rows:    [][]string{{d(len(r.Occurrences)), d(r.MISSize), fmt.Sprintf("%v", r.Exact)}},
+	}
+	return t, r
+}
+
+// Fig5 merges the two example subgraphs and reports the sharing.
+func Fig5() (*Table, *merge.Datapath) {
+	mkAdd2 := func() *merge.Datapath {
+		g := ir.NewGraph("s1")
+		x := g.Input("x")
+		y := g.Input("y")
+		a2 := g.OpNode(ir.OpAdd, x, y)
+		g.Output("o", g.OpNode(ir.OpAdd, a2, g.Const(7)))
+		dp, _ := merge.FromPattern(g, "subgraph1")
+		return dp
+	}
+	mkShl := func() *merge.Datapath {
+		g := ir.NewGraph("s2")
+		x := g.Input("x")
+		s := g.Input("s")
+		y := g.Input("y")
+		b3 := g.OpNode(ir.OpAdd, g.OpNode(ir.OpShl, x, s), y)
+		g.Output("o", g.OpNode(ir.OpAdd, b3, g.Const(3)))
+		dp, _ := merge.FromPattern(g, "subgraph2")
+		return dp
+	}
+	a, b := mkAdd2(), mkShl()
+	merged := merge.Merge(a, b, merge.Options{})
+	ca, cb, cm := a.Count(), b.Count(), merged.Count()
+	t := &Table{
+		ID:      "Fig. 5",
+		Title:   "Datapath merging of two subgraphs (max-weight clique)",
+		Headers: []string{"Graph", "FUs", "Consts", "Inputs", "Muxes"},
+		Rows: [][]string{
+			{"subgraph 1", d(ca.FUs), d(ca.Consts), d(ca.Inputs), d(ca.Muxes)},
+			{"subgraph 2", d(cb.FUs), d(cb.Consts), d(cb.Inputs), d(cb.Muxes)},
+			{"merged", d(cm.FUs), d(cm.Consts), d(cm.Inputs), d(cm.Muxes)},
+		},
+	}
+	return t, merged
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 + Table 2 — camera pipeline specialization ladder
+// ---------------------------------------------------------------------------
+
+// LadderResult is one rung of the camera ladder.
+type LadderResult struct {
+	Variant    string
+	NumPEs     int
+	AreaPerPE  float64
+	TotalArea  float64 // total PE core area (Fig. 11's area series)
+	PEEnergy   float64 // PE energy per output (Fig. 11's energy series)
+	FramePerMS float64 // Table 2's performance column numerator
+	PerfPerMM2 float64 // frames/ms/mm^2
+}
+
+// CameraLadder evaluates Base and PE1..PE4 on the camera pipeline,
+// reproducing Fig. 11 (PE core area and energy) and Table 2 (#PEs,
+// area/PE, total area, frames/ms/mm^2). pnr enables full place-and-route
+// (required for faithful Table 2 performance).
+func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
+	app := apps.Camera()
+	var variants []*core.PEVariant
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	variants = append(variants, base)
+	for k := 1; k <= 4; k++ {
+		v, err := h.LadderPE(app, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		variants = append(variants, v)
+	}
+	names := []string{"PE Base", "PE 1", "PE 2", "PE 3", "PE 4"}
+
+	t := &Table{
+		ID:      "Table 2 (and Fig. 11)",
+		Title:   "Camera pipeline on increasingly specialized PEs (1920x1080 frame)",
+		Headers: []string{"PE Variant", "# PEs", "Area/PE (um^2)", "Total Area (um^2)", "PE energy/out (pJ)", "Perf (frames/ms/mm^2)"},
+	}
+	var out []LadderResult
+	frame := float64(app.TotalOutputs)
+	for i, v := range variants {
+		r, err := h.Evaluate(app, v, pnr, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Table 2's performance column normalizes by the table's own
+		// "Total Area" column: the PE cores consumed by the application.
+		framesPerMS := 0.0
+		perf := 0.0
+		if r.RuntimeMS > 0 && r.TotalPEArea > 0 {
+			framesPerMS = 1 / r.RuntimeMS
+			perf = framesPerMS / (r.TotalPEArea * 1e-6)
+		}
+		lr := LadderResult{
+			Variant:    names[i],
+			NumPEs:     r.NumPEs,
+			AreaPerPE:  r.PECoreArea,
+			TotalArea:  r.TotalPEArea,
+			PEEnergy:   r.PEEnergy,
+			FramePerMS: framesPerMS,
+			PerfPerMM2: perf,
+		}
+		out = append(out, lr)
+		t.Rows = append(t.Rows, []string{
+			names[i], d(lr.NumPEs), f2(lr.AreaPerPE), f1(lr.TotalArea), f3(lr.PEEnergy), f2(lr.PerfPerMM2),
+		})
+	}
+	_ = frame
+	return t, out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — PE IP variants on the four image-processing applications
+// ---------------------------------------------------------------------------
+
+// Fig12 compares PE IP, PE IP2, and PE IP3 across the analyzed image
+// apps: merging too many subgraphs (IP2) or merging unevenly (IP3) hurts.
+func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
+	ip, err := h.PEIP()
+	if err != nil {
+		return nil, nil, err
+	}
+	ip2, err := h.PEIP2()
+	if err != nil {
+		return nil, nil, err
+	}
+	ip3, err := h.PEIP3()
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 12",
+		Title:   "Degree of domain specialization: PE IP vs IP2 vs IP3 (post-mapping)",
+		Headers: []string{"App", "Variant", "# PEs", "Total PE area (um^2)", "PE energy/out (pJ)", "Area vs base"},
+	}
+	results := map[string]map[string]*core.Result{}
+	for _, a := range apps.AnalyzedIP() {
+		results[a.Name] = map[string]*core.Result{}
+		rb, err := h.Evaluate(a, base, false, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[a.Name]["base"] = rb
+		for _, v := range []*core.PEVariant{ip, ip2, ip3} {
+			r, err := h.Evaluate(a, v, false, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			results[a.Name][v.Name] = r
+			t.Rows = append(t.Rows, []string{
+				a.Name, v.Name, d(r.NumPEs), f1(r.TotalPEArea), f3(r.PEEnergy),
+				pct(rb.TotalPEArea, r.TotalPEArea),
+			})
+		}
+	}
+	return t, results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — unseen applications on PE IP
+// ---------------------------------------------------------------------------
+
+// Fig13 runs the three applications not analyzed during PE generation on
+// the baseline and on PE IP: the domain PE must still win (the paper:
+// 12-25% area, 66-78% energy reduction).
+func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
+	ip, err := h.PEIP()
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 13",
+		Title:   "Unseen applications: baseline PE vs PE IP (post-mapping)",
+		Headers: []string{"App", "# PEs (base)", "# PEs (IP)", "PE area vs base", "PE energy vs base"},
+	}
+	results := map[string][2]*core.Result{}
+	for _, a := range apps.UnseenIP() {
+		rb, err := h.Evaluate(a, base, false, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		ri, err := h.Evaluate(a, ip, false, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[a.Name] = [2]*core.Result{rb, ri}
+		t.Rows = append(t.Rows, []string{
+			a.Name, d(rb.NumPEs), d(ri.NumPEs),
+			pct(rb.TotalPEArea, ri.TotalPEArea),
+			pct(rb.PEEnergy, ri.PEEnergy),
+		})
+	}
+	return t, results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — post-mapping comparison across all applications
+// ---------------------------------------------------------------------------
+
+// Fig14 compares the baseline, the domain PE (IP or ML), and the
+// per-application specialized PE at the post-mapping level (PE
+// contributions only).
+func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 14",
+		Title:   "Post-mapping total PE area: baseline vs domain PE vs PE Spec",
+		Headers: []string{"App", "Variant", "# PEs", "Total PE area (um^2)", "vs base"},
+	}
+	results := map[string]map[string]*core.Result{}
+	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+		domain, err := h.DomainVariantFor(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := h.SpecializedPE(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[a.Name] = map[string]*core.Result{}
+		var rb *core.Result
+		for _, v := range []*core.PEVariant{base, domain, spec} {
+			r, err := h.Evaluate(a, v, false, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			results[a.Name][v.Name] = r
+			if v == base {
+				rb = r
+			}
+			t.Rows = append(t.Rows, []string{
+				a.Name, v.Name, d(r.NumPEs), f1(r.TotalPEArea), pct(rb.TotalPEArea, r.TotalPEArea),
+			})
+		}
+	}
+	return t, results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15 — post-place-and-route comparison (interconnect included)
+// ---------------------------------------------------------------------------
+
+// Fig15 repeats Fig. 14 with full place-and-route: total CGRA area and
+// energy including switch boxes, connection boxes, and memories.
+func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 15",
+		Title:   "Post-PnR CGRA area and energy (PE + SB + CB + MEM)",
+		Headers: []string{"App", "Variant", "Total area (um^2)", "SB area", "CB area", "Energy/out (pJ)", "Area vs base", "Energy vs base"},
+	}
+	results := map[string]map[string]*core.Result{}
+	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+		domain, err := h.DomainVariantFor(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := h.SpecializedPE(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[a.Name] = map[string]*core.Result{}
+		var rb *core.Result
+		for _, v := range []*core.PEVariant{base, domain, spec} {
+			r, err := h.Evaluate(a, v, true, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			results[a.Name][v.Name] = r
+			if v == base {
+				rb = r
+			}
+			t.Rows = append(t.Rows, []string{
+				a.Name, v.Name, f1(r.TotalArea), f1(r.SBArea), f1(r.CBArea), f3(r.TotalEnergy),
+				pct(rb.TotalArea, r.TotalArea), pct(rb.TotalEnergy, r.TotalEnergy),
+			})
+		}
+	}
+	return t, results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 + Table 3 — pipelining study and utilization
+// ---------------------------------------------------------------------------
+
+// Fig16 reports pre- vs post-pipelining area, energy, and perf/mm^2.
+func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 16",
+		Title:   "Pre- vs post-pipelining (full PnR)",
+		Headers: []string{"App", "Variant", "Period pre (ps)", "Period post (ps)", "Perf/mm^2 gain", "Area post vs pre"},
+	}
+	results := map[string]map[string][2]*core.Result{}
+	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+		domain, err := h.DomainVariantFor(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[a.Name] = map[string][2]*core.Result{}
+		for _, v := range []*core.PEVariant{base, domain} {
+			pre, err := h.Evaluate(a, v, true, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			post, err := h.Evaluate(a, v, true, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			results[a.Name][v.Name] = [2]*core.Result{pre, post}
+			gain := 0.0
+			if pre.PerfPerMM2 > 0 {
+				gain = post.PerfPerMM2 / pre.PerfPerMM2
+			}
+			t.Rows = append(t.Rows, []string{
+				a.Name, v.Name, f1(pre.PeriodPS), f1(post.PeriodPS),
+				fmt.Sprintf("%.1fx", gain), pct(pre.TotalArea, post.TotalArea),
+			})
+		}
+	}
+	return t, results, nil
+}
+
+// Table3 reports post-pipelining resource utilization for every
+// (application, PE variant) pair the paper tabulates.
+func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:      "Table 3",
+		Title:   "Post-pipelining resource utilization",
+		Headers: []string{"Variant", "App", "#PE", "#MEM", "#RF", "#IO", "#Reg", "#Routing tiles"},
+	}
+	results := map[string]map[string]*core.Result{}
+	addRow := func(label string, a *apps.App, v *core.PEVariant) error {
+		r, err := h.Evaluate(a, v, true, true)
+		if err != nil {
+			return err
+		}
+		if results[label] == nil {
+			results[label] = map[string]*core.Result{}
+		}
+		results[label][a.Name] = r
+		t.Rows = append(t.Rows, []string{
+			label, a.Name, d(r.NumPEs), d(r.NumMems), d(r.NumRFs), d(r.NumIOs), d(r.NumRegs), d(r.RoutingTiles),
+		})
+		return nil
+	}
+	all := append(apps.AnalyzedIP(), apps.AnalyzedML()...)
+	for _, a := range all {
+		if err := addRow("Baseline", a, base); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, a := range apps.AnalyzedIP() {
+		ip, err := h.PEIP()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := addRow("PE IP", a, ip); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, a := range all {
+		spec, err := h.SpecializedPE(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := addRow("PE Spec", a, spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, a := range apps.AnalyzedML() {
+		ml, err := h.PEML()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := addRow("PE ML", a, ml); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 / Fig. 18 — accelerator comparisons
+// ---------------------------------------------------------------------------
+
+// Fig17 compares FPGA, baseline CGRA, CGRA-IP, and ASIC on the image
+// applications (energy per output and runtime).
+func (h *Harness) Fig17(pnr bool) (*Table, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	ip, err := h.PEIP()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 17",
+		Title:   "FPGA vs baseline CGRA vs CGRA-IP vs ASIC (image processing)",
+		Headers: []string{"App", "Platform", "Energy/out (pJ)", "Runtime (ms)", "FPGA/this energy"},
+	}
+	for _, a := range apps.AnalyzedIP() {
+		fpga := accel.FPGA(a, h.FW.Tech)
+		asic := accel.ASIC(a, h.FW.Tech)
+		rb, err := h.Evaluate(a, base, pnr, true)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := h.Evaluate(a, ip, pnr, true)
+		if err != nil {
+			return nil, err
+		}
+		rows := []struct {
+			name    string
+			energy  float64
+			runtime float64
+		}{
+			{"FPGA", fpga.EnergyPJ, fpga.RuntimeMS},
+			{"CGRA base", rb.TotalEnergy, rb.RuntimeMS},
+			{"CGRA IP", ri.TotalEnergy, ri.RuntimeMS},
+			{"ASIC", asic.EnergyPJ, asic.RuntimeMS},
+		}
+		for _, row := range rows {
+			ratio := "1.0"
+			if row.energy > 0 {
+				ratio = f1(fpga.EnergyPJ / row.energy)
+			}
+			t.Rows = append(t.Rows, []string{a.Name, row.name, f3(row.energy), f3(row.runtime), ratio})
+		}
+	}
+	return t, nil
+}
+
+// Fig18 compares FPGA, baseline CGRA, CGRA-ML, and Simba on the ML
+// applications.
+func (h *Harness) Fig18(pnr bool) (*Table, error) {
+	base, err := h.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	ml, err := h.PEML()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Fig. 18",
+		Title:   "FPGA vs baseline CGRA vs CGRA-ML vs Simba (machine learning)",
+		Headers: []string{"App", "Platform", "Energy/out (pJ)", "Area (um^2)", "This/Simba energy"},
+	}
+	for _, a := range apps.AnalyzedML() {
+		fpga := accel.FPGA(a, h.FW.Tech)
+		simba := accel.Simba(a, h.FW.Tech)
+		rb, err := h.Evaluate(a, base, pnr, true)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := h.Evaluate(a, ml, pnr, true)
+		if err != nil {
+			return nil, err
+		}
+		rows := []struct {
+			name   string
+			energy float64
+			area   float64
+		}{
+			{"FPGA", fpga.EnergyPJ, fpga.AreaUM2},
+			{"CGRA base", rb.TotalEnergy, rb.TotalArea},
+			{"CGRA ML", rm.TotalEnergy, rm.TotalArea},
+			{"Simba", simba.EnergyPJ, simba.AreaUM2},
+		}
+		for _, row := range rows {
+			ratio := "1.0"
+			if simba.EnergyPJ > 0 {
+				ratio = f1(row.energy / simba.EnergyPJ)
+			}
+			t.Rows = append(t.Rows, []string{a.Name, row.name, f3(row.energy), f1(row.area), ratio})
+		}
+	}
+	return t, nil
+}

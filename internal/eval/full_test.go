@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFullPnRSuite exercises the complete full place-and-route evaluation
+// once (what cmd/apex-eval runs). Skipped under -short.
+func TestFullPnRSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PnR suite skipped in -short mode")
+	}
+	h := NewHarness()
+
+	if _, _, err := h.CameraLadder(true); err != nil {
+		t.Fatalf("camera ladder: %v", err)
+	}
+	_, f15, err := h.Fig15()
+	if err != nil {
+		t.Fatalf("fig15: %v", err)
+	}
+	// CGRA-level energy must drop for the specialized camera design.
+	cam := f15["camera"]
+	if cam["spec_camera"].TotalEnergy >= cam["baseline"].TotalEnergy {
+		t.Error("camera PE Spec did not reduce CGRA energy")
+	}
+	// Routing-only tiles populated for every result.
+	for app, byVar := range f15 {
+		for name, r := range byVar {
+			if r.Routing == nil {
+				t.Errorf("%s/%s: no routing", app, name)
+			}
+		}
+	}
+
+	_, f16, err := h.Fig16()
+	if err != nil {
+		t.Fatalf("fig16: %v", err)
+	}
+	for app, byVar := range f16 {
+		for name, pair := range byVar {
+			pre, post := pair[0], pair[1]
+			if post.PeriodPS > pre.PeriodPS {
+				t.Errorf("%s/%s: pipelining worsened the period (%.0f -> %.0f)",
+					app, name, pre.PeriodPS, post.PeriodPS)
+			}
+			if post.PerfPerMM2 < pre.PerfPerMM2 {
+				t.Errorf("%s/%s: pipelining reduced perf/mm^2", app, name)
+			}
+			// Paper: 6.9x-12.5x gains; require at least 3x.
+			if gain := post.PerfPerMM2 / pre.PerfPerMM2; gain < 3 {
+				t.Errorf("%s/%s: pipelining gain only %.1fx", app, name, gain)
+			}
+		}
+	}
+
+	tab3, t3, err := h.Table3()
+	if err != nil {
+		t.Fatalf("table3: %v", err)
+	}
+	// Baseline rows must carry the paper's exact PE/MEM/IO footprints.
+	want := map[string][3]int{
+		"camera": {232, 39, 28}, "harris": {192, 17, 10},
+		"gaussian": {140, 14, 42}, "unsharp": {303, 39, 27},
+		"resnet": {132, 24, 11}, "mobilenet": {112, 52, 17},
+	}
+	for app, w := range want {
+		r := t3["Baseline"][app]
+		if r == nil {
+			t.Fatalf("table3 missing baseline %s", app)
+		}
+		if r.NumPEs != w[0] || r.NumMems != w[1] || r.NumIOs != w[2] {
+			t.Errorf("%s baseline: PE/MEM/IO = %d/%d/%d, paper %d/%d/%d",
+				app, r.NumPEs, r.NumMems, r.NumIOs, w[0], w[1], w[2])
+		}
+		if r.RoutingTiles <= 0 {
+			t.Errorf("%s: no routing-only tiles reported", app)
+		}
+	}
+	if !strings.Contains(tab3.Markdown(), "Routing tiles") {
+		t.Error("table3 rendering broken")
+	}
+
+	if _, err := h.Fig17(true); err != nil {
+		t.Fatalf("fig17: %v", err)
+	}
+	if _, err := h.Fig18(true); err != nil {
+		t.Fatalf("fig18: %v", err)
+	}
+}
+
+func TestFig10ListsAllVariants(t *testing.T) {
+	h := fastHarness()
+	tab, err := h.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"camera PE 1", "camera PE 4", "PE Spec harris", "PE IP", "PE ML"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Fig. 10 missing row %q", want)
+		}
+	}
+	// Every non-PE1 row must list at least one subgraph code.
+	for _, row := range tab.Rows {
+		if row[0] == "camera PE 1" {
+			if row[1] != "—" {
+				t.Error("PE 1 should merge no subgraphs")
+			}
+			continue
+		}
+		if row[1] == "—" || row[1] == "" {
+			t.Errorf("row %s lists no subgraphs", row[0])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (Section 5): the camera-pipeline specialization ladder
+// (Fig. 11, Table 2), the image-processing domain PEs (Fig. 12), the
+// unseen-application generalization study (Fig. 13), post-mapping and
+// post-place-and-route comparisons (Fig. 14, Fig. 15), the pipelining
+// study (Fig. 16, Table 3), and the accelerator comparisons (Fig. 17,
+// Fig. 18). Each driver returns typed results plus a renderable table
+// with the same rows/series the paper reports.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/rewrite"
+)
+
+// Harness caches analyses, PE variants, and evaluation results across
+// experiments, so the full suite runs each expensive step once.
+type Harness struct {
+	FW *core.Framework
+	// FastMode skips place-and-route everywhere (post-mapping numbers
+	// only) — used by the unit tests; the benchmark harness runs full.
+	FastMode bool
+
+	analyses map[string]*core.Analysis
+	variants map[string]*core.PEVariant
+	results  map[string]*core.Result
+}
+
+// NewHarness returns a harness with the paper's defaults.
+func NewHarness() *Harness {
+	return &Harness{
+		FW:       core.New(),
+		analyses: map[string]*core.Analysis{},
+		variants: map[string]*core.PEVariant{},
+		results:  map[string]*core.Result{},
+	}
+}
+
+// Analysis returns the mined analysis of an application, cached.
+func (h *Harness) Analysis(app *apps.App) *core.Analysis {
+	if r, ok := h.analyses[app.Name]; ok {
+		return r
+	}
+	r := h.FW.Analyze(app)
+	h.analyses[app.Name] = r
+	return r
+}
+
+// Variant builds (or returns cached) a named PE variant.
+func (h *Harness) Variant(name string, build func() (*core.PEVariant, error)) (*core.PEVariant, error) {
+	if v, ok := h.variants[name]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("eval: variant %s: %w", name, err)
+	}
+	h.variants[name] = v
+	return v, nil
+}
+
+// Baseline returns the general-purpose baseline PE.
+func (h *Harness) Baseline() (*core.PEVariant, error) {
+	return h.Variant("baseline", h.FW.BaselinePE)
+}
+
+// SpecializedPE returns the most specialized per-application PE (the
+// paper's "PE Spec"): the app-restricted baseline merged with the top
+// three subgraphs.
+func (h *Harness) SpecializedPE(app *apps.App) (*core.PEVariant, error) {
+	return h.Variant("spec_"+app.Name, func() (*core.PEVariant, error) {
+		chosen := core.SelectPatterns(h.Analysis(app), 3)
+		return h.FW.GeneratePE("spec_"+app.Name, app.UsedOps(), chosen)
+	})
+}
+
+// LadderPE returns camera-style "PE k": the app-restricted baseline plus
+// the top (k-1) subgraphs. k=1 is PE 1.
+func (h *Harness) LadderPE(app *apps.App, k int) (*core.PEVariant, error) {
+	name := fmt.Sprintf("%s_pe%d", app.Name, k)
+	return h.Variant(name, func() (*core.PEVariant, error) {
+		chosen := core.SelectPatterns(h.Analysis(app), k-1)
+		return h.FW.GeneratePE(name, app.UsedOps(), chosen)
+	})
+}
+
+// DomainPE composes a domain PE from several applications: union of their
+// operation sets plus perApp top subgraphs from each (cameraExtra adds
+// more camera subgraphs — the paper's unbalanced PE IP3).
+func (h *Harness) DomainPE(name string, members []*apps.App, perApp int, extra map[string]int) (*core.PEVariant, error) {
+	return h.Variant(name, func() (*core.PEVariant, error) {
+		var named []rewrite.NamedPattern
+		seen := map[string]bool{}
+		for _, a := range members {
+			n := perApp + extra[a.Name]
+			chosen := core.SelectPatterns(h.Analysis(a), n)
+			for i, r := range chosen {
+				code := r.Pattern.Code
+				if seen[code] {
+					continue
+				}
+				seen[code] = true
+				np, err := rewrite.PatternFromMined(r.Pattern.Graph,
+					fmt.Sprintf("%s_%s%d", name, a.Name, i))
+				if err != nil {
+					return nil, err
+				}
+				named = append(named, np)
+			}
+		}
+		return h.FW.GeneratePEFromPatterns(name, core.UnionOps(members), named)
+	})
+}
+
+// PEIP returns the paper's image-processing domain PE (one subgraph per
+// analyzed IP application).
+func (h *Harness) PEIP() (*core.PEVariant, error) {
+	return h.DomainPE("pe_ip", apps.AnalyzedIP(), 1, nil)
+}
+
+// PEIP2 merges one more subgraph per application (Fig. 12's "too many
+// subgraphs" point).
+func (h *Harness) PEIP2() (*core.PEVariant, error) {
+	return h.DomainPE("pe_ip2", apps.AnalyzedIP(), 2, nil)
+}
+
+// PEIP3 specializes toward camera at the others' expense (Fig. 12's
+// unbalanced merge).
+func (h *Harness) PEIP3() (*core.PEVariant, error) {
+	return h.DomainPE("pe_ip3", apps.AnalyzedIP(), 1, map[string]int{"camera": 2})
+}
+
+// PEML returns the machine-learning domain PE.
+func (h *Harness) PEML() (*core.PEVariant, error) {
+	return h.DomainPE("pe_ml", apps.AnalyzedML(), 2, nil)
+}
+
+// Evaluate runs (and caches) the backend for an (app, variant) pair.
+// pnr=false evaluates post-mapping only; pipelined=false disables PE and
+// application pipelining (Fig. 16's "pre-pipelining" rows).
+func (h *Harness) Evaluate(app *apps.App, v *core.PEVariant, pnr, pipelined bool) (*core.Result, error) {
+	if h.FastMode {
+		pnr = false
+	}
+	key := fmt.Sprintf("%s|%s|%v|%v", app.Name, v.Name, pnr, pipelined)
+	if r, ok := h.results[key]; ok {
+		return r, nil
+	}
+	prevSkip, prevPipe := h.FW.SkipPnR, h.FW.AppPipelining
+	h.FW.SkipPnR = !pnr
+	h.FW.AppPipelining = pipelined
+	r, err := h.FW.Evaluate(app, v)
+	h.FW.SkipPnR, h.FW.AppPipelining = prevSkip, prevPipe
+	if err != nil {
+		return nil, err
+	}
+	h.results[key] = r
+	return r, nil
+}
+
+// DomainVariantFor returns PE IP for image apps and PE ML for ML apps.
+func (h *Harness) DomainVariantFor(app *apps.App) (*core.PEVariant, error) {
+	if app.Domain == apps.MachineLearning {
+		return h.PEML()
+	}
+	return h.PEIP()
+}
+
+// Table is a renderable experiment result.
+type Table struct {
+	ID      string // e.g. "Table 2", "Fig. 11"
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+
+// pct renders a reduction percentage vs a reference.
+func pct(ref, val float64) string {
+	if ref == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (val-ref)/ref*100)
+}
+
+// sortedOpNames renders an op list.
+func sortedOpNames(ops []ir.Op) string {
+	names := make([]string, len(ops))
+	for i, op := range ops {
+		names[i] = op.Name()
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}

@@ -1,0 +1,26 @@
+package frontend_test
+
+import (
+	"fmt"
+
+	"repro/internal/frontend"
+)
+
+// Example compiles a small kernel and evaluates it.
+func Example() {
+	g, err := frontend.Compile("thresh", `
+input x, limit
+over = x > limit
+out y = select(over, limit, x)
+`)
+	if err != nil {
+		panic(err)
+	}
+	out, err := g.Eval(map[string]uint16{"x": 300, "limit": 255})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out["y"])
+	// Output:
+	// 255
+}

@@ -1,0 +1,193 @@
+package frontend
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/mining"
+	"repro/internal/pe"
+	"repro/internal/rewrite"
+)
+
+func compileOK(t *testing.T, src string) *ir.Graph {
+	t.Helper()
+	g, err := Compile("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCompileSimpleKernel(t *testing.T) {
+	g := compileOK(t, `
+# weighted 3-tap blur
+input a, b, c
+acc = a*1 + b*2 + c*1
+out result = acc >> 2
+`)
+	out, err := g.Eval(map[string]uint16{"a": 4, "b": 8, "c": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["result"] != (4+16+12)>>2 {
+		t.Fatalf("result = %d, want %d", out["result"], (4+16+12)>>2)
+	}
+}
+
+func TestCompilePrecedence(t *testing.T) {
+	g := compileOK(t, "input a, b\nout o = a + b * 3\n")
+	out, _ := g.Eval(map[string]uint16{"a": 1, "b": 2})
+	if out["o"] != 7 {
+		t.Fatalf("a + b*3 = %d, want 7", out["o"])
+	}
+	g2 := compileOK(t, "input a, b\nout o = (a + b) * 3\n")
+	out2, _ := g2.Eval(map[string]uint16{"a": 1, "b": 2})
+	if out2["o"] != 9 {
+		t.Fatalf("(a+b)*3 = %d, want 9", out2["o"])
+	}
+}
+
+func TestCompileSelectAndComparison(t *testing.T) {
+	g := compileOK(t, `
+input x, thresh
+over = x > thresh
+out y = select(over, x, thresh)
+`)
+	out, _ := g.Eval(map[string]uint16{"x": 10, "thresh": 5})
+	if out["y"] != 10 {
+		t.Fatalf("max-like select = %d, want 10", out["y"])
+	}
+	out, _ = g.Eval(map[string]uint16{"x": 3, "thresh": 5})
+	if out["y"] != 5 {
+		t.Fatalf("select = %d, want 5", out["y"])
+	}
+}
+
+func TestCompileClampAndFunctions(t *testing.T) {
+	g := compileOK(t, `
+input x
+out y = clamp(abs(x - 100), 0, 255)
+out z = umin(x, 0xff)
+`)
+	out, _ := g.Eval(map[string]uint16{"x": 50})
+	if out["y"] != 50 {
+		t.Fatalf("clamp(abs(50-100)) = %d, want 50", out["y"])
+	}
+	out, _ = g.Eval(map[string]uint16{"x": 1000})
+	if out["z"] != 255 {
+		t.Fatalf("umin(1000, 255) = %d, want 255", out["z"])
+	}
+}
+
+func TestCompileShifts(t *testing.T) {
+	g := compileOK(t, "input a\nout l = a << 2\nout r = a >> 1\nout s = a >>> 1\n")
+	neg := uint16(0xfff0) // -16
+	out, _ := g.Eval(map[string]uint16{"a": neg})
+	if out["l"] != neg<<2 {
+		t.Errorf("shl wrong: %#x", out["l"])
+	}
+	if out["r"] != neg>>1 {
+		t.Errorf("lshr wrong: %#x", out["r"])
+	}
+	if int16(out["s"]) != -8 {
+		t.Errorf("ashr(-16, 1) = %d, want -8", int16(out["s"]))
+	}
+}
+
+func TestCompileHexAndConst(t *testing.T) {
+	g := compileOK(t, "input a\nconst MASK = 0x0F\nout o = a & MASK\n")
+	out, _ := g.Eval(map[string]uint16{"a": 0xAB})
+	if out["o"] != 0x0B {
+		t.Fatalf("a & 0x0F = %#x, want 0x0B", out["o"])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no outputs", "input a\nb = a + 1\n", "no outputs"},
+		{"unknown name", "out o = q + 1\n", "unknown name"},
+		{"rebind", "input a\na = 1 + 2\nout o = a\n", "already bound"},
+		{"select non-bit", "input a, b\nout o = select(a, b, a)\n", "1-bit"},
+		{"bad arity", "input a\nout o = min(a)\n", "takes 2 arguments"},
+		{"unknown func", "input a\nout o = frob(a)\n", "unknown function"},
+		{"big number", "input a\nout o = a + 99999\n", "exceeds 16 bits"},
+		{"bad char", "input a\nout o = a $ 2\n", "unexpected character"},
+		{"garbage", "out = \n", "expected output name"},
+	}
+	for _, c := range cases {
+		_, err := Compile("t", c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompiledKernelMapsOntoBaseline(t *testing.T) {
+	// A user-written kernel must flow through the whole APEX pipeline:
+	// compile -> mine -> map -> verify.
+	src := `
+input p0, p1, p2, p3
+const w0 = 3
+const w1 = 5
+m0 = p0 * w0
+m1 = p1 * w1
+m2 = p2 * w0
+m3 = p3 * w1
+s = m0 + m1 + m2 + m3
+out o = clamp(s >> 2, 0, 255)
+`
+	g := compileOK(t, src)
+	view, _ := mining.ComputeView(g)
+	pats := mining.Mine(view, mining.Options{MinSupport: 2, MaxNodes: 4})
+	if len(pats) == 0 {
+		t.Fatal("compiled kernel mined no patterns")
+	}
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	rs, err := rewrite.SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rewrite.MapApp(g, rs, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		in := map[string]uint16{}
+		for i := 0; i < 4; i++ {
+			in["p"+string(rune('0'+i))] = uint16(rng.Intn(256))
+		}
+		want, _ := g.Eval(in)
+		got, err := m.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["o"] != want["o"] {
+			t.Fatalf("mapped kernel diverged: %d != %d", got["o"], want["o"])
+		}
+	}
+}
+
+func TestCompileCommentsAndBlankLines(t *testing.T) {
+	g := compileOK(t, `
+
+# leading comment
+
+input a   # trailing comment
+
+out o = a + 1   # another
+`)
+	out, _ := g.Eval(map[string]uint16{"a": 41})
+	if out["o"] != 42 {
+		t.Fatal("comment handling broke evaluation")
+	}
+}

@@ -1,0 +1,128 @@
+// Package frontend compiles a small Halide-flavored kernel language into
+// the dataflow IR, playing the role the Halide-to-CoreIR lowering plays
+// for users who want to bring their own applications to the framework.
+//
+// A kernel is a sequence of statements:
+//
+//	# 3-tap weighted blur with saturation
+//	input a, b, c
+//	inputb enable
+//	acc = a*1 + b*2 + c*1
+//	scaled = acc >> 2
+//	out result = select(enable, clamp(scaled, 0, 255), a)
+//
+// Expressions support + - * & | ^ ~ << >> (logical) >>> (arithmetic),
+// comparisons (< <= > >= == != signed), the functions
+// min/max/umin/umax/abs/select/clamp/ult/ule/ugt/uge, parentheses,
+// decimal and hexadecimal constants, and references to earlier bindings.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp // operator or punctuation
+	tokNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits the source into tokens. Newlines are significant (they end
+// statements); '#' starts a comment running to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind, text, line, col})
+		col += len(text)
+	}
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			emit(tokNewline, "\n")
+			line++
+			col = 1
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			col++
+			i++
+		case ch == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
+			}
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		case unicode.IsDigit(rune(ch)):
+			j := i
+			if ch == '0' && j+1 < len(src) && (src[j+1] == 'x' || src[j+1] == 'X') {
+				j += 2
+				for j < len(src) && isHex(src[j]) {
+					j++
+				}
+			} else {
+				for j < len(src) && unicode.IsDigit(rune(src[j])) {
+					j++
+				}
+			}
+			emit(tokNumber, src[i:j])
+			i = j
+		default:
+			// Multi-character operators, longest first.
+			ops := []string{
+				">>>", "<<", ">>", "<=", ">=", "==", "!=",
+				"+", "-", "*", "&", "|", "^", "~", "<", ">",
+				"=", "(", ")", ",",
+			}
+			matched := ""
+			for _, op := range ops {
+				if strings.HasPrefix(src[i:], op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				return nil, fmt.Errorf("frontend: line %d col %d: unexpected character %q", line, col, ch)
+			}
+			emit(tokOp, matched)
+			i += len(matched)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isHex(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}

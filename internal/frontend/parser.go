@@ -1,0 +1,351 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// Compile parses kernel source and builds the corresponding IR graph.
+func Compile(name, src string) (*ir.Graph, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:  toks,
+		g:     ir.NewGraph(name),
+		scope: map[string]binding{},
+	}
+	if err := p.program(); err != nil {
+		return nil, err
+	}
+	if len(p.g.Outputs()) == 0 {
+		return nil, fmt.Errorf("frontend: kernel has no outputs (use 'out name = expr')")
+	}
+	if err := p.g.Validate(); err != nil {
+		return nil, fmt.Errorf("frontend: internal error: %w", err)
+	}
+	return p.g, nil
+}
+
+// binding tracks a named value and whether it is 1-bit.
+type binding struct {
+	ref ir.NodeRef
+	bit bool
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	g     *ir.Graph
+	scope map[string]binding
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("frontend: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != op {
+		return p.errf(t, "expected %q, found %s", op, t)
+	}
+	return nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) program() error {
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokEOF {
+			return nil
+		}
+		if t.kind != tokIdent {
+			return p.errf(t, "expected a statement, found %s", t)
+		}
+		var err error
+		switch t.text {
+		case "input":
+			err = p.inputStmt(false)
+		case "inputb":
+			err = p.inputStmt(true)
+		case "const":
+			err = p.constStmt()
+		case "out":
+			err = p.outStmt()
+		default:
+			err = p.assignStmt()
+		}
+		if err != nil {
+			return err
+		}
+		t = p.next()
+		if t.kind != tokNewline && t.kind != tokEOF {
+			return p.errf(t, "expected end of line, found %s", t)
+		}
+		if t.kind == tokEOF {
+			return nil
+		}
+	}
+}
+
+func (p *parser) inputStmt(bit bool) error {
+	p.next() // 'input' / 'inputb'
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return p.errf(t, "expected input name, found %s", t)
+		}
+		if _, exists := p.scope[t.text]; exists {
+			return p.errf(t, "name %q already bound", t.text)
+		}
+		var ref ir.NodeRef
+		if bit {
+			ref = p.g.InputB(t.text)
+		} else {
+			ref = p.g.Input(t.text)
+		}
+		p.scope[t.text] = binding{ref, bit}
+		if p.peek().kind == tokOp && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) constStmt() error {
+	p.next() // 'const'
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return p.errf(nameTok, "expected constant name, found %s", nameTok)
+	}
+	if _, exists := p.scope[nameTok.text]; exists {
+		return p.errf(nameTok, "name %q already bound", nameTok.text)
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	numTok := p.next()
+	if numTok.kind != tokNumber {
+		return p.errf(numTok, "expected a number, found %s", numTok)
+	}
+	v, err := parseNum(numTok.text)
+	if err != nil {
+		return p.errf(numTok, "%v", err)
+	}
+	p.scope[nameTok.text] = binding{p.g.Const(v), false}
+	return nil
+}
+
+func (p *parser) assignStmt() error {
+	nameTok := p.next()
+	if _, exists := p.scope[nameTok.text]; exists {
+		return p.errf(nameTok, "name %q already bound", nameTok.text)
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	b, err := p.expr(0)
+	if err != nil {
+		return err
+	}
+	p.scope[nameTok.text] = b
+	return nil
+}
+
+func (p *parser) outStmt() error {
+	p.next() // 'out'
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return p.errf(nameTok, "expected output name, found %s", nameTok)
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	b, err := p.expr(0)
+	if err != nil {
+		return err
+	}
+	p.g.Output(nameTok.text, b.ref)
+	return nil
+}
+
+// Operator precedence (loosest to tightest).
+var precedence = map[string]int{
+	"|": 1, "^": 2, "&": 3,
+	"==": 4, "!=": 4,
+	"<": 5, "<=": 5, ">": 5, ">=": 5,
+	"<<": 6, ">>": 6, ">>>": 6,
+	"+": 7, "-": 7,
+	"*": 8,
+}
+
+var binOpFor = map[string]ir.Op{
+	"|": ir.OpOr, "^": ir.OpXor, "&": ir.OpAnd,
+	"==": ir.OpEq, "!=": ir.OpNeq,
+	"<": ir.OpSlt, "<=": ir.OpSle, ">": ir.OpSgt, ">=": ir.OpSge,
+	"<<": ir.OpShl, ">>": ir.OpLshr, ">>>": ir.OpAshr,
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul,
+}
+
+var cmpResult = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+// expr parses with precedence climbing.
+func (p *parser) expr(minPrec int) (binding, error) {
+	left, err := p.unary()
+	if err != nil {
+		return binding{}, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.expr(prec + 1)
+		if err != nil {
+			return binding{}, err
+		}
+		op := binOpFor[t.text]
+		left = binding{
+			ref: p.g.OpNode(op, left.ref, right.ref),
+			bit: cmpResult[t.text],
+		}
+	}
+}
+
+func (p *parser) unary() (binding, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokOp && t.text == "~":
+		b, err := p.unary()
+		if err != nil {
+			return binding{}, err
+		}
+		return binding{p.g.OpNode(ir.OpNot, b.ref), false}, nil
+	case t.kind == tokOp && t.text == "-":
+		b, err := p.unary()
+		if err != nil {
+			return binding{}, err
+		}
+		return binding{p.g.OpNode(ir.OpNeg, b.ref), false}, nil
+	case t.kind == tokOp && t.text == "(":
+		b, err := p.expr(0)
+		if err != nil {
+			return binding{}, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return binding{}, err
+		}
+		return b, nil
+	case t.kind == tokNumber:
+		v, err := parseNum(t.text)
+		if err != nil {
+			return binding{}, p.errf(t, "%v", err)
+		}
+		return binding{p.g.Const(v), false}, nil
+	case t.kind == tokIdent:
+		// Function call?
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			return p.call(t)
+		}
+		b, ok := p.scope[t.text]
+		if !ok {
+			return binding{}, p.errf(t, "unknown name %q", t.text)
+		}
+		return b, nil
+	default:
+		return binding{}, p.errf(t, "unexpected %s in expression", t)
+	}
+}
+
+// funcs maps function names to (op, arity, bitResult).
+var funcs = map[string]struct {
+	op    ir.Op
+	arity int
+	bit   bool
+}{
+	"min":    {ir.OpSMin, 2, false},
+	"max":    {ir.OpSMax, 2, false},
+	"umin":   {ir.OpUMin, 2, false},
+	"umax":   {ir.OpUMax, 2, false},
+	"abs":    {ir.OpAbs, 1, false},
+	"select": {ir.OpSel, 3, false},
+	"ult":    {ir.OpUlt, 2, true},
+	"ule":    {ir.OpUle, 2, true},
+	"ugt":    {ir.OpUgt, 2, true},
+	"uge":    {ir.OpUge, 2, true},
+}
+
+func (p *parser) call(nameTok token) (binding, error) {
+	p.pos++ // '('
+	var args []binding
+	if !(p.peek().kind == tokOp && p.peek().text == ")") {
+		for {
+			a, err := p.expr(0)
+			if err != nil {
+				return binding{}, err
+			}
+			args = append(args, a)
+			if p.peek().kind == tokOp && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return binding{}, err
+	}
+	name := nameTok.text
+	if name == "clamp" {
+		if len(args) != 3 {
+			return binding{}, p.errf(nameTok, "clamp takes 3 arguments, got %d", len(args))
+		}
+		lo := p.g.OpNode(ir.OpSMax, args[0].ref, args[1].ref)
+		return binding{p.g.OpNode(ir.OpSMin, lo, args[2].ref), false}, nil
+	}
+	f, ok := funcs[name]
+	if !ok {
+		return binding{}, p.errf(nameTok, "unknown function %q", name)
+	}
+	if len(args) != f.arity {
+		return binding{}, p.errf(nameTok, "%s takes %d arguments, got %d", name, f.arity, len(args))
+	}
+	if f.op == ir.OpSel && !args[0].bit {
+		return binding{}, p.errf(nameTok, "select's first argument must be 1-bit (a comparison or inputb)")
+	}
+	refs := make([]ir.NodeRef, len(args))
+	for i, a := range args {
+		refs[i] = a.ref
+	}
+	return binding{p.g.OpNode(f.op, refs...), f.bit}, nil
+}
+
+func parseNum(s string) (uint16, error) {
+	v, err := strconv.ParseUint(s, 0, 17)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if v > 0xffff {
+		return 0, fmt.Errorf("number %q exceeds 16 bits", s)
+	}
+	return uint16(v), nil
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalCode returns a string that is identical for isomorphic graphs
+// and distinct for non-isomorphic ones. It is intended for the small
+// pattern graphs produced by frequent subgraph mining (≤ ~16 nodes); the
+// cost is exponential in the worst case but invariant refinement keeps it
+// fast for realistic dataflow patterns.
+func CanonicalCode(g *Graph) string {
+	n := g.NumNodes()
+	if n == 0 {
+		return "∅"
+	}
+	// Iteratively refined node invariants: start from (label, degrees),
+	// then fold in neighbor invariants until a fixed point. Nodes with
+	// distinct invariants can never map to each other, which prunes the
+	// ordering search dramatically.
+	inv := make([]string, n)
+	for v := 0; v < n; v++ {
+		inv[v] = fmt.Sprintf("%s/%d/%d", g.Label(NodeID(v)), g.InDegree(NodeID(v)), g.OutDegree(NodeID(v)))
+	}
+	for iter := 0; iter < n; iter++ {
+		next := make([]string, n)
+		changed := false
+		for v := 0; v < n; v++ {
+			var outs, ins []string
+			for _, e := range g.Out(NodeID(v)) {
+				outs = append(outs, fmt.Sprintf("%d>%s", e.Port, inv[e.To]))
+			}
+			for _, e := range g.In(NodeID(v)) {
+				ins = append(ins, fmt.Sprintf("%d<%s", e.Port, inv[e.From]))
+			}
+			sort.Strings(outs)
+			sort.Strings(ins)
+			next[v] = inv[v] + "{" + strings.Join(outs, ",") + "|" + strings.Join(ins, ",") + "}"
+			if next[v] != inv[v] {
+				changed = true
+			}
+		}
+		// Compress invariant strings to class indices to keep them short.
+		classes := make(map[string]int)
+		for _, s := range next {
+			if _, ok := classes[s]; !ok {
+				classes[s] = 0
+			}
+		}
+		keys := make([]string, 0, len(classes))
+		for k := range classes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			classes[k] = i
+		}
+		base := make([]string, n)
+		for v := 0; v < n; v++ {
+			base[v] = fmt.Sprintf("%s·c%d", g.Label(NodeID(v)), classes[next[v]])
+		}
+		if !changed {
+			break
+		}
+		inv = base
+	}
+
+	// Backtracking search over orderings consistent with the invariant
+	// classes; keep the lexicographically smallest code.
+	type cand struct {
+		v   NodeID
+		inv string
+	}
+	cands := make([]cand, n)
+	for v := 0; v < n; v++ {
+		cands[v] = cand{NodeID(v), inv[v]}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].inv != cands[b].inv {
+			return cands[a].inv < cands[b].inv
+		}
+		return cands[a].v < cands[b].v
+	})
+
+	best := ""
+	perm := make([]NodeID, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	steps := 0
+	rec = func() {
+		steps++
+		if steps > 200_000 {
+			return // safety valve; dedup falls back to a coarser key
+		}
+		if len(perm) == n {
+			code := encodeWithOrder(g, perm)
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		// Only extend with candidates in the lexicographically smallest
+		// eligible invariant class to bound branching.
+		var classInv string
+		for _, c := range cands {
+			if !used[c.v] {
+				classInv = c.inv
+				break
+			}
+		}
+		for _, c := range cands {
+			if used[c.v] || c.inv != classInv {
+				continue
+			}
+			used[c.v] = true
+			perm = append(perm, c.v)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[c.v] = false
+		}
+	}
+	rec()
+	if best == "" {
+		// Budget exhausted: fall back to an invariant-multiset key. It is
+		// iso-invariant but may (rarely) collide; mining treats collisions
+		// as duplicates, which only under-reports a pattern.
+		all := make([]string, n)
+		for v := 0; v < n; v++ {
+			all[v] = inv[v]
+		}
+		sort.Strings(all)
+		return "~" + strings.Join(all, ";")
+	}
+	return best
+}
+
+func encodeWithOrder(g *Graph, order []NodeID) string {
+	rank := make(map[NodeID]int, len(order))
+	for i, v := range order {
+		rank[v] = i
+	}
+	var b strings.Builder
+	for i, v := range order {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(g.Label(v))
+	}
+	type triple struct{ f, t, p int }
+	var es []triple
+	for _, e := range g.Edges() {
+		es = append(es, triple{rank[e.From], rank[e.To], e.Port})
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].f != es[b].f {
+			return es[a].f < es[b].f
+		}
+		if es[a].t != es[b].t {
+			return es[a].t < es[b].t
+		}
+		return es[a].p < es[b].p
+	})
+	b.WriteByte('#')
+	for i, e := range es {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d,%d,%d", e.f, e.t, e.p)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalCodeEmpty(t *testing.T) {
+	if CanonicalCode(New()) != "∅" {
+		t.Error("empty graph code changed")
+	}
+}
+
+func TestCanonicalCodeIsoInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(rng, 8, 0.3)
+		h := permuteGraph(rng, g)
+		if CanonicalCode(g) != CanonicalCode(h) {
+			t.Fatalf("trial %d: isomorphic graphs got different codes:\n%s\n%s",
+				trial, CanonicalCode(g), CanonicalCode(h))
+		}
+	}
+}
+
+func TestCanonicalCodeDistinguishes(t *testing.T) {
+	// mul->add(port0) vs mul->add(port1)
+	a := New()
+	am := a.AddNode("mul")
+	aa := a.AddNode("add")
+	a.AddEdge(am, aa, 0)
+
+	b := New()
+	bm := b.AddNode("mul")
+	ba := b.AddNode("add")
+	b.AddEdge(bm, ba, 1)
+
+	if CanonicalCode(a) == CanonicalCode(b) {
+		t.Fatal("codes collide for different ports")
+	}
+}
+
+func TestCanonicalCodeDistinguishesLabels(t *testing.T) {
+	a := New()
+	a.AddNode("add")
+	b := New()
+	b.AddNode("mul")
+	if CanonicalCode(a) == CanonicalCode(b) {
+		t.Fatal("codes collide for different labels")
+	}
+}
+
+// Property: equal canonical codes on random small graphs imply isomorphism
+// and vice versa (codes are a complete invariant at this size).
+func TestCanonicalCodeCompleteProperty(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		r1 := rand.New(rand.NewSource(seed1))
+		r2 := rand.New(rand.NewSource(seed2))
+		g := randomDAG(r1, 6, 0.35)
+		h := randomDAG(r2, 6, 0.35)
+		sameCode := CanonicalCode(g) == CanonicalCode(h)
+		iso := Isomorphic(g, h)
+		return sameCode == iso
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCanonicalCode8(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomDAG(rng, 8, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(g)
+	}
+}

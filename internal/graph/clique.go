@@ -1,0 +1,189 @@
+package graph
+
+import "sort"
+
+// UndirectedAdj is an adjacency structure for the clique and independent
+// set solvers: Adj[v] lists the neighbors of v. It must be symmetric
+// (u in Adj[v] iff v in Adj[u]); self-loops are ignored.
+type UndirectedAdj [][]int
+
+// MaxWeightClique returns a maximum-weight clique of the undirected graph
+// with the given per-vertex weights, as a sorted vertex list, plus its
+// total weight. Weights must be non-negative. The solver is an exact
+// branch-and-bound with a greedy-coloring upper bound, adequate for the
+// compatibility graphs produced by datapath merging (typically well under
+// a thousand vertices).
+//
+// maxSteps bounds the number of branch steps; 0 means a generous default.
+// If the budget is exhausted, the best clique found so far is returned
+// (still a valid clique, possibly suboptimal).
+func MaxWeightClique(adj UndirectedAdj, weights []float64, maxSteps int) ([]int, float64) {
+	n := len(adj)
+	if n == 0 {
+		return nil, 0
+	}
+	if len(weights) != n {
+		panic("graph: MaxWeightClique: len(weights) != len(adj)")
+	}
+	if maxSteps <= 0 {
+		maxSteps = 5_000_000
+	}
+
+	// Order vertices by descending weight (heavier first makes the greedy
+	// initial incumbent strong and improves the coloring bound).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	pos := make([]int, n) // pos[v] = index of v in order
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	// Adjacency bitsets in the reordered index space.
+	nb := make([]bitset, n)
+	for i := range nb {
+		nb[i] = newBitset(n)
+	}
+	for v, ns := range adj {
+		for _, u := range ns {
+			if u == v {
+				continue
+			}
+			nb[pos[v]].set(pos[u])
+			nb[pos[u]].set(pos[v])
+		}
+	}
+	w := make([]float64, n)
+	for i, v := range order {
+		w[i] = weights[v]
+	}
+
+	s := &cliqueSolver{n: n, nb: nb, w: w, budget: maxSteps}
+	all := newBitset(n)
+	for i := 0; i < n; i++ {
+		all.set(i)
+	}
+	s.expand(all, nil, 0)
+
+	out := make([]int, len(s.best))
+	for i, v := range s.best {
+		out[i] = order[v]
+	}
+	sort.Ints(out)
+	return out, s.bestW
+}
+
+type cliqueSolver struct {
+	n      int
+	nb     []bitset
+	w      []float64
+	best   []int
+	bestW  float64
+	budget int
+}
+
+// expand grows the current clique cur (weight curW) using candidate set p.
+func (s *cliqueSolver) expand(p bitset, cur []int, curW float64) {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+
+	if curW > s.bestW || (s.best == nil && curW >= 0 && len(cur) > 0) {
+		if curW > s.bestW {
+			s.bestW = curW
+			s.best = append([]int(nil), cur...)
+		}
+	}
+	if p.empty() {
+		return
+	}
+	// Greedy coloring bound: partition p into independent color classes;
+	// a clique takes at most one vertex per class, so the sum of class
+	// maxima bounds the achievable extra weight.
+	verts, bound := s.colorBound(p)
+	// Visit candidates heaviest-bound-last order reversed for pruning.
+	for i := len(verts) - 1; i >= 0; i-- {
+		v := verts[i]
+		if curW+bound[i] <= s.bestW {
+			return // remaining candidates cannot beat the incumbent
+		}
+		np := p.clone()
+		np.andWith(s.nb[v])
+		cur = append(cur, v)
+		s.expand(np, cur, curW+s.w[v])
+		cur = cur[:len(cur)-1]
+		p.clear(v)
+		if s.budget <= 0 {
+			return
+		}
+	}
+}
+
+// colorBound greedily colors the candidate set and returns the candidates
+// ordered by color, along with a per-position cumulative weight bound:
+// bound[i] = max achievable weight using verts[0..i].
+func (s *cliqueSolver) colorBound(p bitset) (verts []int, bound []float64) {
+	remaining := p.clone()
+	var classMax []float64
+	var colorOf []int
+	for !remaining.empty() {
+		classW := 0.0
+		avail := remaining.clone()
+		for {
+			v := avail.firstSet()
+			if v < 0 {
+				break
+			}
+			verts = append(verts, v)
+			colorOf = append(colorOf, len(classMax))
+			if s.w[v] > classW {
+				classW = s.w[v]
+			}
+			remaining.clear(v)
+			avail.clear(v)
+			avail.andNotWith(s.nb[v])
+		}
+		classMax = append(classMax, classW)
+	}
+	bound = make([]float64, len(verts))
+	cum := 0.0
+	seen := make([]bool, len(classMax))
+	for i, v := range verts {
+		c := colorOf[i]
+		if !seen[c] {
+			seen[c] = true
+			cum += classMax[c]
+		}
+		_ = v
+		bound[i] = cum
+	}
+	return verts, bound
+}
+
+// IsClique reports whether vs forms a clique in adj (every pair adjacent).
+func IsClique(adj UndirectedAdj, vs []int) bool {
+	set := make(map[int]map[int]bool, len(adj))
+	for v, ns := range adj {
+		m := make(map[int]bool, len(ns))
+		for _, u := range ns {
+			m[u] = true
+		}
+		set[v] = m
+	}
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !set[vs[i]][vs[j]] {
+				return false
+			}
+		}
+	}
+	return true
+}

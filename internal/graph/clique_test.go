@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxWeightCliqueTriangle(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 0.
+	adj := UndirectedAdj{
+		{1, 2, 3},
+		{0, 2},
+		{0, 1},
+		{0},
+	}
+	w := []float64{1, 1, 1, 10}
+	clique, total := MaxWeightClique(adj, w, 0)
+	// Best is {0,3} with weight 11, beating triangle weight 3.
+	if total != 11 {
+		t.Fatalf("weight = %v, want 11 (clique %v)", total, clique)
+	}
+	if !IsClique(adj, clique) {
+		t.Fatalf("result %v is not a clique", clique)
+	}
+}
+
+func TestMaxWeightCliqueSingleVertex(t *testing.T) {
+	adj := UndirectedAdj{{}}
+	clique, total := MaxWeightClique(adj, []float64{5}, 0)
+	if len(clique) != 1 || total != 5 {
+		t.Fatalf("clique=%v total=%v, want [0] 5", clique, total)
+	}
+}
+
+func TestMaxWeightCliqueEmpty(t *testing.T) {
+	clique, total := MaxWeightClique(nil, nil, 0)
+	if clique != nil || total != 0 {
+		t.Fatalf("empty graph: clique=%v total=%v", clique, total)
+	}
+}
+
+func TestMaxWeightCliqueComplete(t *testing.T) {
+	n := 8
+	adj := make(UndirectedAdj, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = float64(i + 1)
+		for j := 0; j < n; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	clique, total := MaxWeightClique(adj, w, 0)
+	if len(clique) != n || total != 36 {
+		t.Fatalf("complete graph: clique=%v total=%v, want all 8 / 36", clique, total)
+	}
+}
+
+func TestMaxWeightCliqueAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		adjm := make([][]bool, n)
+		for i := range adjm {
+			adjm[i] = make([]bool, n)
+		}
+		adj := make(UndirectedAdj, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.45 {
+					adjm[i][j], adjm[j][i] = true, true
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + rng.Intn(9))
+		}
+		want := bruteForceClique(adjm, w)
+		got, total := MaxWeightClique(adj, w, 0)
+		if total != want {
+			t.Fatalf("trial %d: BnB weight %v != brute force %v (clique %v)", trial, total, want, got)
+		}
+		if !IsClique(adj, got) {
+			t.Fatalf("trial %d: %v not a clique", trial, got)
+		}
+	}
+}
+
+func bruteForceClique(adj [][]bool, w []float64) float64 {
+	n := len(adj)
+	best := 0.0
+	for mask := 1; mask < 1<<n; mask++ {
+		total := 0.0
+		ok := true
+		var members []int
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for _, j := range members {
+				if !adj[i][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				members = append(members, i)
+				total += w[i]
+			}
+		}
+		if ok && total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+func TestMaxWeightCliqueBudgetStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 60
+	adj := make(UndirectedAdj, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 + rng.Float64()
+	}
+	clique, total := MaxWeightClique(adj, w, 100) // tiny budget
+	if len(clique) == 0 || total <= 0 {
+		t.Fatalf("budgeted search returned nothing: %v %v", clique, total)
+	}
+	if !IsClique(adj, clique) {
+		t.Fatalf("budgeted result not a clique: %v", clique)
+	}
+}
+
+func BenchmarkMaxWeightClique50(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n := 50
+	adj := make(UndirectedAdj, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 + rng.Float64()*10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightClique(adj, w, 0)
+	}
+}

@@ -1,0 +1,193 @@
+// Package graph provides the generic directed, labeled, ported multigraph
+// and the graph algorithms that the APEX pipeline is built on: subgraph
+// isomorphism (for frequent subgraph mining), maximal independent set
+// analysis (for occurrence-overlap ranking), maximum-weight clique search
+// (for datapath merging), topological ordering, and canonical codes for
+// small pattern graphs.
+//
+// Nodes carry a string label (an operation name in the APEX use case).
+// Edges carry a destination port, the operand index at the destination
+// node; ports are what make non-commutative operations (shifts, subtract)
+// meaningful during both mining and merging.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense: the first
+// added node is 0, the next 1, and so on. IDs are never reused.
+type NodeID int
+
+// Edge is a directed, ported edge. Port is the operand index at the To
+// node: an edge (a, b, 1) means "a is operand 1 of b".
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Port int
+}
+
+// Graph is a directed labeled multigraph with ported edges. The zero value
+// is an empty graph ready for use.
+type Graph struct {
+	labels []string
+	out    [][]Edge // out[v] = edges leaving v
+	in     [][]Edge // in[v] = edges entering v
+}
+
+// New returns an empty graph. Equivalent to &Graph{} but reads better at
+// call sites.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node with the given label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds a directed edge from -> to with the given destination port.
+// It panics if either endpoint is out of range; edges between valid nodes
+// are never rejected (parallel edges are allowed).
+func (g *Graph) AddEdge(from, to NodeID, port int) {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d): node out of range (n=%d)", from, to, len(g.labels)))
+	}
+	e := Edge{From: from, To: to, Port: port}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.labels) }
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+
+// SetLabel replaces the label of node v.
+func (g *Graph) SetLabel(v NodeID, label string) { g.labels[v] = label }
+
+// Out returns the edges leaving v. The slice is shared; callers must not
+// modify it.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the edges entering v. The slice is shared; callers must not
+// modify it.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the number of edges entering v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Edges returns all edges in a deterministic order (by source node, then
+// insertion order).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.NumEdges())
+	for _, out := range g.out {
+		es = append(es, out...)
+	}
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		out:    make([][]Edge, len(g.out)),
+		in:     make([][]Edge, len(g.in)),
+	}
+	for v := range g.out {
+		c.out[v] = append([]Edge(nil), g.out[v]...)
+		c.in[v] = append([]Edge(nil), g.in[v]...)
+	}
+	return c
+}
+
+// HasEdge reports whether an edge from -> to with the given port exists.
+func (g *Graph) HasEdge(from, to NodeID, port int) bool {
+	for _, e := range g.out[from] {
+		if e.To == to && e.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// InducedSubgraph returns the subgraph induced by keep (all kept nodes and
+// every edge between two kept nodes) along with the mapping from old node
+// IDs to new ones.
+func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, map[NodeID]NodeID) {
+	sub := New()
+	remap := make(map[NodeID]NodeID, len(keep))
+	for _, v := range keep {
+		remap[v] = sub.AddNode(g.labels[v])
+	}
+	for _, v := range keep {
+		for _, e := range g.out[v] {
+			if to, ok := remap[e.To]; ok {
+				sub.AddEdge(remap[v], to, e.Port)
+			}
+		}
+	}
+	return sub, remap
+}
+
+// String renders a compact human-readable description, stable across runs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{n=%d, m=%d", g.NumNodes(), g.NumEdges())
+	for v := range g.labels {
+		fmt.Fprintf(&b, "; %d:%s", v, g.labels[v])
+		if len(g.out[v]) > 0 {
+			parts := make([]string, 0, len(g.out[v]))
+			for _, e := range g.out[v] {
+				parts = append(parts, fmt.Sprintf("->%d.%d", e.To, e.Port))
+			}
+			sort.Strings(parts)
+			b.WriteString(strings.Join(parts, ""))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz DOT syntax, useful for debugging and
+// for documentation figures.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for v, l := range g.labels {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, l)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", e.From, e.To, e.Port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LabelCounts returns how many nodes carry each label.
+func (g *Graph) LabelCounts() map[string]int {
+	m := make(map[string]int)
+	for _, l := range g.labels {
+		m[l]++
+	}
+	return m
+}

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New()
+	a := g.AddNode("add")
+	b := g.AddNode("mul")
+	c := g.AddNode("const")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(c, b, 1)
+
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Label(a) != "add" || g.Label(b) != "mul" || g.Label(c) != "const" {
+		t.Fatalf("labels wrong: %q %q %q", g.Label(a), g.Label(b), g.Label(c))
+	}
+	if !g.HasEdge(a, b, 0) {
+		t.Error("missing edge a->b port 0")
+	}
+	if g.HasEdge(a, b, 1) {
+		t.Error("unexpected edge a->b port 1")
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(b) != 2 {
+		t.Errorf("degrees wrong: out(a)=%d in(b)=%d", g.OutDegree(a), g.InDegree(b))
+	}
+}
+
+func TestAddEdgePanicsOnBadNode(t *testing.T) {
+	g := New()
+	g.AddNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	g.AddEdge(0, 5, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, 0)
+	c := g.Clone()
+	c.AddNode("c")
+	c.AddEdge(0, 2, 1)
+	c.SetLabel(a, "z")
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("clone mutation leaked into original: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(a) != "a" {
+		t.Errorf("label mutation leaked: %q", g.Label(a))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	g.AddEdge(a, c, 1)
+
+	sub, remap := g.InducedSubgraph([]NodeID{a, c})
+	if sub.NumNodes() != 2 {
+		t.Fatalf("sub nodes = %d, want 2", sub.NumNodes())
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("sub edges = %d, want 1 (only a->c survives)", sub.NumEdges())
+	}
+	if !sub.HasEdge(remap[a], remap[c], 1) {
+		t.Error("a->c port 1 missing from induced subgraph")
+	}
+}
+
+func TestTopoSortLinear(t *testing.T) {
+	g := New()
+	var prev NodeID = -1
+	for i := 0; i < 10; i++ {
+		v := g.AddNode("op")
+		if prev >= 0 {
+			g.AddEdge(prev, v, 0)
+		}
+		prev = v
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if g.IsDAG() {
+		t.Fatal("IsDAG = true for a cyclic graph")
+	}
+}
+
+func TestTopoSortRespectsAllEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(rng, 30, 0.15)
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make(map[NodeID]int)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge %d->%d violates topo order", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(d, c, 0)
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes = %d,%d, want 2,2", len(comps[0]), len(comps[1]))
+	}
+	if g.IsWeaklyConnected() {
+		t.Error("IsWeaklyConnected = true for 2-component graph")
+	}
+}
+
+func TestLongestPathLengths(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	g.AddEdge(a, d, 0)
+	g.AddEdge(d, c, 1)
+	depth, err := g.LongestPathLengths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth[c] != 2 {
+		t.Errorf("depth[c] = %d, want 2", depth[c])
+	}
+	if depth[a] != 0 {
+		t.Errorf("depth[a] = %d, want 0", depth[a])
+	}
+}
+
+func TestStringAndDOTAreStable(t *testing.T) {
+	g := New()
+	a := g.AddNode("add")
+	b := g.AddNode("mul")
+	g.AddEdge(a, b, 1)
+	s1, s2 := g.String(), g.String()
+	if s1 != s2 {
+		t.Error("String not deterministic")
+	}
+	dot := g.DOT("test")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "add") {
+		t.Errorf("DOT output malformed: %s", dot)
+	}
+}
+
+func TestLabelCounts(t *testing.T) {
+	g := New()
+	g.AddNode("add")
+	g.AddNode("add")
+	g.AddNode("mul")
+	counts := g.LabelCounts()
+	if counts["add"] != 2 || counts["mul"] != 1 {
+		t.Errorf("LabelCounts = %v", counts)
+	}
+}
+
+// randomDAG builds a random DAG with n nodes; each forward pair gets an
+// edge with probability p. Labels are drawn from a small alphabet.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	labels := []string{"add", "mul", "sub", "shr", "min"}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < n; i++ {
+		port := 0
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j), port%2)
+				port++
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,290 @@
+package graph
+
+import "sort"
+
+// Embedding maps pattern node i (by index) to a target graph node.
+type Embedding []NodeID
+
+// EmbedOptions controls embedding enumeration.
+type EmbedOptions struct {
+	// Limit caps the number of embeddings returned; 0 means unlimited.
+	Limit int
+	// Symmetric, when true, deduplicates embeddings that use the same set
+	// of target nodes (automorphic images of the same occurrence). Maximal
+	// independent set analysis wants occurrences, not labeled matches.
+	Symmetric bool
+}
+
+// FindEmbeddings enumerates injective embeddings of pattern into target.
+// An embedding maps every pattern node to a distinct target node with the
+// same label such that every pattern edge (u -> v, port p) has a matching
+// target edge (m(u) -> m(v), port p). This is edge-subgraph matching: the
+// target may have extra edges among matched nodes.
+func FindEmbeddings(pattern, target *Graph, opt EmbedOptions) []Embedding {
+	if pattern.NumNodes() == 0 || pattern.NumNodes() > target.NumNodes() {
+		return nil
+	}
+	s := &isoState{
+		pattern: pattern,
+		target:  target,
+		opt:     opt,
+		asg:     make([]NodeID, pattern.NumNodes()),
+		usedT:   make([]bool, target.NumNodes()),
+	}
+	s.order = searchOrder(pattern, target)
+	if s.order == nil {
+		return nil
+	}
+	if opt.Symmetric {
+		s.seenSets = make(map[string]bool)
+	}
+	for i := range s.asg {
+		s.asg[i] = -1
+	}
+	s.search(0)
+	return s.found
+}
+
+// CountEmbeddings returns the number of embeddings, up to limit (0 =
+// unlimited). It is cheaper than FindEmbeddings when only the count is
+// needed because no embedding copies are retained.
+func CountEmbeddings(pattern, target *Graph, limit int) int {
+	s := &isoState{
+		pattern:   pattern,
+		target:    target,
+		opt:       EmbedOptions{Limit: limit},
+		asg:       make([]NodeID, pattern.NumNodes()),
+		usedT:     make([]bool, target.NumNodes()),
+		countOnly: true,
+	}
+	if pattern.NumNodes() == 0 || pattern.NumNodes() > target.NumNodes() {
+		return 0
+	}
+	s.order = searchOrder(pattern, target)
+	if s.order == nil {
+		return 0
+	}
+	for i := range s.asg {
+		s.asg[i] = -1
+	}
+	s.search(0)
+	return s.count
+}
+
+// HasEmbedding reports whether at least one embedding exists.
+func HasEmbedding(pattern, target *Graph) bool {
+	return CountEmbeddings(pattern, target, 1) > 0
+}
+
+// Isomorphic reports whether a and b are isomorphic as labeled ported
+// digraphs (same node count, same edge count, and a bijective embedding).
+func Isomorphic(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.NumNodes() == 0 {
+		return true
+	}
+	// With equal node and edge counts, an edge-subgraph embedding is a
+	// label- and edge-preserving bijection; the reverse check makes it an
+	// isomorphism even in the presence of parallel-edge multiplicities.
+	return HasEmbedding(a, b) && HasEmbedding(b, a)
+}
+
+type isoState struct {
+	pattern, target *Graph
+	opt             EmbedOptions
+	order           []NodeID // pattern nodes in match order
+	asg             []NodeID // pattern node -> target node or -1
+	usedT           []bool
+	found           []Embedding
+	seenSets        map[string]bool
+	count           int
+	countOnly       bool
+	done            bool
+}
+
+// searchOrder picks an order over pattern nodes such that each node after
+// the first is adjacent to an earlier one (when the pattern is weakly
+// connected), starting from the node whose label is rarest in the target.
+// Returns nil if some pattern label does not occur in the target at all.
+func searchOrder(pattern, target *Graph) []NodeID {
+	freq := target.LabelCounts()
+	n := pattern.NumNodes()
+	for v := 0; v < n; v++ {
+		if freq[pattern.Label(NodeID(v))] == 0 {
+			return nil
+		}
+	}
+	start := NodeID(0)
+	best := int(^uint(0) >> 1)
+	for v := 0; v < n; v++ {
+		f := freq[pattern.Label(NodeID(v))]
+		// Prefer rare labels, then high degree for early pruning.
+		deg := pattern.OutDegree(NodeID(v)) + pattern.InDegree(NodeID(v))
+		score := f*1024 - deg
+		if score < best {
+			best = score
+			start = NodeID(v)
+		}
+	}
+	order := []NodeID{start}
+	inOrder := make([]bool, n)
+	inOrder[start] = true
+	for len(order) < n {
+		next := NodeID(-1)
+		bestScore := int(^uint(0) >> 1)
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			adj := false
+			for _, e := range pattern.out[v] {
+				if inOrder[e.To] {
+					adj = true
+					break
+				}
+			}
+			if !adj {
+				for _, e := range pattern.in[v] {
+					if inOrder[e.From] {
+						adj = true
+						break
+					}
+				}
+			}
+			score := freq[pattern.Label(NodeID(v))]
+			if !adj {
+				score += 1 << 20 // disconnected nodes go last
+			}
+			if score < bestScore {
+				bestScore = score
+				next = NodeID(v)
+			}
+		}
+		order = append(order, next)
+		inOrder[next] = true
+	}
+	return order
+}
+
+func (s *isoState) search(depth int) {
+	if s.done {
+		return
+	}
+	if depth == len(s.order) {
+		s.emit()
+		return
+	}
+	pv := s.order[depth]
+	for _, tv := range s.candidates(pv) {
+		if s.usedT[tv] {
+			continue
+		}
+		if !s.feasible(pv, tv) {
+			continue
+		}
+		s.asg[pv] = tv
+		s.usedT[tv] = true
+		s.search(depth + 1)
+		s.usedT[tv] = false
+		s.asg[pv] = -1
+		if s.done {
+			return
+		}
+	}
+}
+
+// candidates returns plausible target nodes for pattern node pv. If pv has
+// an already-matched neighbor, candidates come from that neighbor's
+// adjacency; otherwise every target node with the right label is tried.
+func (s *isoState) candidates(pv NodeID) []NodeID {
+	label := s.pattern.Label(pv)
+	// Find a matched neighbor to anchor on.
+	for _, e := range s.pattern.out[pv] {
+		if t := s.asg[e.To]; t >= 0 {
+			var cs []NodeID
+			for _, te := range s.target.in[t] {
+				if te.Port == e.Port && s.target.Label(te.From) == label {
+					cs = append(cs, te.From)
+				}
+			}
+			return cs
+		}
+	}
+	for _, e := range s.pattern.in[pv] {
+		if t := s.asg[e.From]; t >= 0 {
+			var cs []NodeID
+			for _, te := range s.target.out[t] {
+				if te.Port == e.Port && s.target.Label(te.To) == label {
+					cs = append(cs, te.To)
+				}
+			}
+			return cs
+		}
+	}
+	var cs []NodeID
+	for v := 0; v < s.target.NumNodes(); v++ {
+		if s.target.Label(NodeID(v)) == label {
+			cs = append(cs, NodeID(v))
+		}
+	}
+	return cs
+}
+
+// feasible checks that assigning pv -> tv keeps every pattern edge between
+// pv and already-matched nodes satisfiable in the target.
+func (s *isoState) feasible(pv, tv NodeID) bool {
+	if s.pattern.Label(pv) != s.target.Label(tv) {
+		return false
+	}
+	if s.pattern.OutDegree(pv) > s.target.OutDegree(tv) ||
+		s.pattern.InDegree(pv) > s.target.InDegree(tv) {
+		return false
+	}
+	for _, e := range s.pattern.out[pv] {
+		if t := s.asg[e.To]; t >= 0 && !s.target.HasEdge(tv, t, e.Port) {
+			return false
+		}
+	}
+	for _, e := range s.pattern.in[pv] {
+		if t := s.asg[e.From]; t >= 0 && !s.target.HasEdge(t, tv, e.Port) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *isoState) emit() {
+	if s.opt.Symmetric {
+		key := nodeSetKey(s.asg)
+		if s.seenSets[key] {
+			return
+		}
+		s.seenSets[key] = true
+	}
+	s.count++
+	if !s.countOnly {
+		emb := make(Embedding, len(s.asg))
+		copy(emb, s.asg)
+		s.found = append(s.found, emb)
+	}
+	if s.opt.Limit > 0 && s.count >= s.opt.Limit {
+		s.done = true
+	}
+}
+
+// nodeSetKey builds a canonical key for the set of target nodes used by an
+// assignment, independent of which pattern node maps where.
+func nodeSetKey(asg []NodeID) string {
+	ids := make([]int, len(asg))
+	for i, v := range asg {
+		ids[i] = int(v)
+	}
+	sort.Ints(ids)
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceEmbeddings enumerates embeddings by trying every injective
+// assignment — exponential, for tiny graphs only.
+func bruteForceEmbeddings(pattern, target *Graph) int {
+	n, m := pattern.NumNodes(), target.NumNodes()
+	if n > m {
+		return 0
+	}
+	asg := make([]NodeID, n)
+	used := make([]bool, m)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			count++
+			return
+		}
+		for t := 0; t < m; t++ {
+			if used[t] || target.Label(NodeID(t)) != pattern.Label(NodeID(i)) {
+				continue
+			}
+			asg[i] = NodeID(t)
+			ok := true
+			for _, e := range pattern.Edges() {
+				if int(e.From) > i || int(e.To) > i {
+					continue
+				}
+				if !target.HasEdge(asg[e.From], asg[e.To], e.Port) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				used[t] = true
+				rec(i + 1)
+				used[t] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// Property: the backtracking matcher finds exactly the embeddings brute
+// force finds, on random tiny graphs.
+func TestFindEmbeddingsMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		target := randomDAG(rng, 5+rng.Intn(4), 0.3)
+		// Pattern: induced subgraph of the target over a random node set
+		// (guarantees at least one embedding), possibly relabeled.
+		n := target.NumNodes()
+		k := 1 + rng.Intn(3)
+		perm := rng.Perm(n)[:k]
+		ids := make([]NodeID, k)
+		for i, v := range perm {
+			ids[i] = NodeID(v)
+		}
+		pattern, _ := target.InducedSubgraph(ids)
+		got := CountEmbeddings(pattern, target, 0)
+		want := bruteForceEmbeddings(pattern, target)
+		return got == want && got >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical-code equality is preserved under node permutation
+// and broken by edge-port changes.
+func TestCanonicalCodePortSensitivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 4+rng.Intn(4), 0.35)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		// Flip one edge's port and check the code changes unless an
+		// automorphic edge hides it — conservatively require only that
+		// it STILL matches iff isomorphic.
+		h := New()
+		for v := 0; v < g.NumNodes(); v++ {
+			h.AddNode(g.Label(NodeID(v)))
+		}
+		es := g.Edges()
+		flip := rng.Intn(len(es))
+		for i, e := range es {
+			port := e.Port
+			if i == flip {
+				port = 1 - port
+			}
+			h.AddEdge(e.From, e.To, port)
+		}
+		same := CanonicalCode(g) == CanonicalCode(h)
+		iso := Isomorphic(g, h)
+		return same == iso
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every embedding returned really is an embedding (labels and
+// edges check out), for random pattern/target pairs.
+func TestEmbeddingsAreValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		target := randomDAG(rng, 10, 0.25)
+		pattern := randomDAG(rng, 3, 0.5)
+		for _, emb := range FindEmbeddings(pattern, target, EmbedOptions{Limit: 200}) {
+			seen := map[NodeID]bool{}
+			for pi, tv := range emb {
+				if target.Label(tv) != pattern.Label(NodeID(pi)) || seen[tv] {
+					return false
+				}
+				seen[tv] = true
+			}
+			for _, e := range pattern.Edges() {
+				if !target.HasEdge(emb[e.From], emb[e.To], e.Port) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

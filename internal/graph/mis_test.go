@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyMISPath(t *testing.T) {
+	// Path 0-1-2-3-4: maximum independent set is {0,2,4}.
+	adj := UndirectedAdj{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
+	mis := GreedyMIS(adj)
+	if !IsMaximalIndependentSet(adj, mis) {
+		t.Fatalf("greedy result %v not maximal independent", mis)
+	}
+	if len(mis) != 3 {
+		t.Fatalf("greedy on path-5 = %v (size %d), want size 3", mis, len(mis))
+	}
+}
+
+func TestGreedyMISEmptyAndSingleton(t *testing.T) {
+	if got := GreedyMIS(nil); len(got) != 0 {
+		t.Errorf("empty graph MIS = %v", got)
+	}
+	if got := GreedyMIS(UndirectedAdj{{}}); len(got) != 1 {
+		t.Errorf("singleton MIS = %v, want one vertex", got)
+	}
+}
+
+func TestMaximumIndependentSetExactSmall(t *testing.T) {
+	// 5-cycle: maximum independent set size 2.
+	adj := UndirectedAdj{{1, 4}, {0, 2}, {1, 3}, {2, 4}, {3, 0}}
+	mis, proven := MaximumIndependentSet(adj, 0)
+	if len(mis) != 2 {
+		t.Fatalf("C5 maximum IS size = %d, want 2 (%v)", len(mis), mis)
+	}
+	if !proven {
+		t.Error("C5 should be proven optimal")
+	}
+	if !IsIndependentSet(adj, mis) {
+		t.Fatalf("%v not independent", mis)
+	}
+}
+
+func TestMaximumMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(10)
+		adj := make(UndirectedAdj, n)
+		adjm := make([][]bool, n)
+		for i := range adjm {
+			adjm[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+					adjm[i][j], adjm[j][i] = true, true
+				}
+			}
+		}
+		want := bruteForceMIS(adjm)
+		got, _ := MaximumIndependentSet(adj, 0)
+		if len(got) != want {
+			t.Fatalf("trial %d: exact MIS size %d != brute force %d", trial, len(got), want)
+		}
+	}
+}
+
+func bruteForceMIS(adj [][]bool) int {
+	n := len(adj)
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		size := 0
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			size++
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<j) != 0 && adj[i][j] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// Property: GreedyMIS always produces a maximal independent set, on any
+// random graph.
+func TestGreedyMISAlwaysMaximalProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		p := float64(pRaw%90)/100 + 0.05
+		rng := rand.New(rand.NewSource(seed))
+		adj := make(UndirectedAdj, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		return IsMaximalIndependentSet(adj, GreedyMIS(adj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact solver never returns a smaller set than greedy.
+func TestExactAtLeastGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		adj := make(UndirectedAdj, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		exact, _ := MaximumIndependentSet(adj, 0)
+		greedy := GreedyMIS(adj)
+		return len(exact) >= len(greedy) && IsIndependentSet(adj, exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsIndependentSetRejects(t *testing.T) {
+	adj := UndirectedAdj{{1}, {0}}
+	if IsIndependentSet(adj, []int{0, 1}) {
+		t.Fatal("adjacent pair accepted as independent")
+	}
+	if !IsIndependentSet(adj, []int{0}) {
+		t.Fatal("singleton rejected")
+	}
+}

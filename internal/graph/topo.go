@@ -1,0 +1,125 @@
+package graph
+
+import "fmt"
+
+// TopoSort returns a topological ordering of the graph's nodes, or an error
+// naming a node on a cycle if the graph is not a DAG. The ordering is
+// deterministic: among ready nodes, lower IDs come first.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(NodeID(v))
+	}
+	// A simple ordered worklist: scan for the smallest ready node. The
+	// graphs we sort are at most tens of thousands of nodes, and a heap
+	// would only complicate determinism for no observable gain.
+	order := make([]NodeID, 0, n)
+	ready := make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, NodeID(v))
+		}
+	}
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		for v := 0; v < n; v++ {
+			if indeg[v] > 0 {
+				return nil, fmt.Errorf("graph: cycle detected involving node %d (%s)", v, g.labels[v])
+			}
+		}
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph has no directed cycles.
+func (g *Graph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// WeaklyConnectedComponents partitions the nodes into weakly connected
+// components (ignoring edge direction). Components are returned in order of
+// their smallest member, each sorted ascending.
+func (g *Graph) WeaklyConnectedComponents() [][]NodeID {
+	n := g.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]NodeID
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := len(comps)
+		stack := []NodeID{NodeID(v)}
+		comp[v] = id
+		var members []NodeID
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, e := range g.out[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = id
+					stack = append(stack, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if comp[e.From] < 0 {
+					comp[e.From] = id
+					stack = append(stack, e.From)
+				}
+			}
+		}
+		sortNodeIDs(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// IsWeaklyConnected reports whether the graph forms a single weakly
+// connected component. The empty graph is considered connected.
+func (g *Graph) IsWeaklyConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	return len(g.WeaklyConnectedComponents()) == 1
+}
+
+// LongestPathLengths returns, for every node, the length (in edges) of the
+// longest path from any source to that node. It requires a DAG.
+func (g *Graph) LongestPathLengths() ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumNodes())
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if depth[v]+1 > depth[e.To] {
+				depth[e.To] = depth[v] + 1
+			}
+		}
+	}
+	return depth, nil
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the dataflow graph in Graphviz syntax: compute nodes as
+// boxes labeled with their op, constants as diamonds with their value,
+// I/O as ellipses with their names, and memory elements as cylinders.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for i, n := range g.Nodes {
+		var label, shape string
+		switch n.Op {
+		case OpInput, OpInputB:
+			label, shape = n.Name, "ellipse"
+		case OpOutput:
+			label, shape = n.Name, "doubleoctagon"
+		case OpConst, OpConstB:
+			label, shape = fmt.Sprintf("%d", n.Val), "diamond"
+		case OpReg:
+			label, shape = "reg", "cylinder"
+		case OpMem:
+			label, shape = "mem", "cylinder"
+		case OpRegFileFIFO:
+			label, shape = fmt.Sprintf("rf[%d]", n.Val), "cylinder"
+		case OpRom:
+			label, shape = fmt.Sprintf("rom%d", n.Val), "cylinder"
+		case OpLUT:
+			label, shape = fmt.Sprintf("lut %#02x", n.Val), "box"
+		default:
+			label, shape = n.Op.Name(), "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", i, label, shape)
+	}
+	for i, n := range g.Nodes {
+		for p, a := range n.Args {
+			if len(n.Args) > 1 {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", a, i, p)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", a, i)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g := NewGraph("dot")
+	a := g.Input("a")
+	c := g.Const(7)
+	m := g.OpNode(OpMul, a, c)
+	r := g.Reg(m)
+	g.Output("out", r)
+
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph \"dot\"", `label="a"`, `label="7"`, `label="mul"`,
+		`label="reg"`, `label="out"`, "->", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Multi-operand edges carry port labels.
+	if !strings.Contains(dot, `[label="0"]`) || !strings.Contains(dot, `[label="1"]`) {
+		t.Error("port labels missing on mul's operands")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := NewGraph("x")
+	a := g.Input("a")
+	g.Output("o", g.OpNode(OpAbs, a))
+	if g.DOT() != g.DOT() {
+		t.Error("DOT not deterministic")
+	}
+}
+
+func TestDOTAllShapes(t *testing.T) {
+	g := NewGraph("shapes")
+	a := g.Input("a")
+	b := g.InputB("b")
+	lut := g.LUT(0xAA, b, g.ConstB(true), b)
+	mem := g.Mem(a)
+	rf := g.RegFileFIFO(mem, 3)
+	rom := g.Rom(a, 2)
+	s := g.OpNode(OpSel, lut, rf, rom)
+	g.Output("o", s)
+	dot := g.DOT()
+	for _, want := range []string{"cylinder", "diamond", "ellipse", "doubleoctagon", "lut 0xaa", "rf[3]", "rom2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

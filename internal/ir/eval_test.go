@@ -1,0 +1,159 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateRegisterDelaysByOne(t *testing.T) {
+	g := NewGraph("delay")
+	a := g.Input("a")
+	g.Output("o", g.Reg(a))
+	stream := []uint16{1, 2, 3, 4, 5}
+	outs, err := g.Simulate(map[string][]uint16{"a": stream}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{0, 1, 2, 3, 4}
+	for i, v := range outs["o"] {
+		if v != want[i] {
+			t.Fatalf("reg trace = %v, want %v", outs["o"], want)
+		}
+	}
+}
+
+func TestSimulateFIFODepth3(t *testing.T) {
+	g := NewGraph("fifo")
+	a := g.Input("a")
+	g.Output("o", g.RegFileFIFO(a, 3))
+	stream := []uint16{10, 20, 30, 40, 50, 60}
+	outs, err := g.Simulate(map[string][]uint16{"a": stream}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{0, 0, 0, 10, 20, 30}
+	for i, v := range outs["o"] {
+		if v != want[i] {
+			t.Fatalf("fifo trace = %v, want %v", outs["o"], want)
+		}
+	}
+}
+
+func TestSimulateSteadyStateMatchesEval(t *testing.T) {
+	// A pipelined graph fed constant inputs must, after the pipeline
+	// fills, produce exactly the combinational Eval result. This is the
+	// core equivalence the CGRA simulator validation relies on.
+	g := NewGraph("pipe")
+	a := g.Input("a")
+	b := g.Input("b")
+	m := g.Reg(g.OpNode(OpMul, a, b))
+	s := g.OpNode(OpAdd, m, g.Reg(g.Reg(a)))
+	g.Output("o", g.Reg(s))
+
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		env := map[string]uint16{
+			"a": uint16(rng.Intn(1 << 16)),
+			"b": uint16(rng.Intn(1 << 16)),
+		}
+		comb, err := g.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := g.TotalLatency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := map[string][]uint16{
+			"a": {env["a"]},
+			"b": {env["b"]},
+		}
+		trace, err := g.Simulate(streams, lat+4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := trace["o"][len(trace["o"])-1]
+		if got != comb["o"] {
+			t.Fatalf("steady state %d != combinational %d", got, comb["o"])
+		}
+	}
+}
+
+func TestTotalLatency(t *testing.T) {
+	g := NewGraph("lat")
+	a := g.Input("a")
+	path1 := g.Reg(g.Reg(a))           // 2 cycles
+	path2 := g.RegFileFIFO(a, 5)       // 5 cycles
+	s := g.OpNode(OpAdd, path1, path2) // 0
+	g.Output("o", g.Reg(s))            // +1
+	lat, err := g.TotalLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 6 {
+		t.Errorf("TotalLatency = %d, want 6", lat)
+	}
+}
+
+func TestRomDeterministic(t *testing.T) {
+	g := NewGraph("rom")
+	a := g.Input("a")
+	g.Output("o", g.Rom(a, 7))
+	o1, _ := g.Eval(map[string]uint16{"a": 42})
+	o2, _ := g.Eval(map[string]uint16{"a": 42})
+	if o1["o"] != o2["o"] {
+		t.Error("ROM not deterministic")
+	}
+	o3, _ := g.Eval(map[string]uint16{"a": 43})
+	if o1["o"] == o3["o"] {
+		t.Log("note: adjacent ROM addresses collide (allowed but unexpected)")
+	}
+}
+
+func TestEvalOpAllComputeOpsTotal(t *testing.T) {
+	// Every compute op must evaluate without panicking on arbitrary args.
+	rng := rand.New(rand.NewSource(5))
+	for _, op := range AllComputeOps() {
+		args := make([]uint16, op.Arity())
+		for trial := 0; trial < 20; trial++ {
+			for i := range args {
+				args[i] = uint16(rng.Intn(1 << 16))
+			}
+			EvalOp(op, args, uint16(rng.Intn(256)))
+		}
+	}
+}
+
+func TestBaselineALUOpsAllCompute(t *testing.T) {
+	for _, op := range BaselineALUOps() {
+		if !op.IsCompute() {
+			t.Errorf("%s in baseline set but not compute", op)
+		}
+	}
+	if len(BaselineALUOps()) < 20 {
+		t.Errorf("baseline ALU implausibly small: %d ops", len(BaselineALUOps()))
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for _, op := range AllComputeOps() {
+		if got := OpByName(op.Name()); got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.Name(), got, op)
+		}
+	}
+	if OpByName("nonsense") != OpInvalid {
+		t.Error("unknown name did not map to OpInvalid")
+	}
+}
+
+func TestHWClasses(t *testing.T) {
+	if OpAdd.HWClass() != OpSub.HWClass() {
+		t.Error("add and sub should share the addsub block")
+	}
+	if OpAdd.HWClass() == OpMul.HWClass() {
+		t.Error("add and mul must not share a block")
+	}
+	if OpSlt.HWClass() != OpUge.HWClass() {
+		t.Error("comparisons should share the cmp block")
+	}
+}

@@ -1,0 +1,211 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyConstantFolding(t *testing.T) {
+	e := Apply(OpAdd, 0, ConstExpr(3), ConstExpr(4))
+	if e.Kind != ExprConst || e.Val != 7 {
+		t.Fatalf("3+4 folded to %v", e)
+	}
+	e = Apply(OpMul, 0, ConstExpr(300), ConstExpr(300))
+	if e.Kind != ExprConst || e.Val != uint16(300*300&0xffff) {
+		t.Fatalf("300*300 folded to %v", e)
+	}
+}
+
+func TestApplyIdentities(t *testing.T) {
+	x := Var("x")
+	cases := []struct {
+		name string
+		got  *Expr
+		want string
+	}{
+		{"x+0", Apply(OpAdd, 0, x, ConstExpr(0)), x.Key()},
+		{"x*1", Apply(OpMul, 0, x, ConstExpr(1)), x.Key()},
+		{"x*0", Apply(OpMul, 0, x, ConstExpr(0)), ConstExpr(0).Key()},
+		{"x&0xffff", Apply(OpAnd, 0, x, ConstExpr(0xffff)), x.Key()},
+		{"x&0", Apply(OpAnd, 0, x, ConstExpr(0)), ConstExpr(0).Key()},
+		{"x|0", Apply(OpOr, 0, x, ConstExpr(0)), x.Key()},
+		{"x^0", Apply(OpXor, 0, x, ConstExpr(0)), x.Key()},
+		{"x^x", Apply(OpXor, 0, x, x), ConstExpr(0).Key()},
+		{"x-x", Apply(OpSub, 0, x, x), ConstExpr(0).Key()},
+		{"x<<0", Apply(OpShl, 0, x, ConstExpr(0)), x.Key()},
+		{"neg(neg(x))", Apply(OpNeg, 0, Apply(OpNeg, 0, x)), x.Key()},
+		{"not(not(x))", Apply(OpNot, 0, Apply(OpNot, 0, x)), x.Key()},
+		{"min(x,x)", Apply(OpSMin, 0, x, x), x.Key()},
+		{"sel(c,x,x)", Apply(OpSel, 0, Var("c"), x, x), x.Key()},
+		{"sel(1,x,y)", Apply(OpSel, 0, ConstExpr(1), x, Var("y")), x.Key()},
+		{"eq(x,x)", Apply(OpEq, 0, x, x), ConstExpr(1).Key()},
+	}
+	for _, c := range cases {
+		if c.got.Key() != c.want {
+			t.Errorf("%s: key %q, want %q", c.name, c.got.Key(), c.want)
+		}
+	}
+}
+
+func TestCommutativeCanonical(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	if Apply(OpAdd, 0, x, y).Key() != Apply(OpAdd, 0, y, x).Key() {
+		t.Error("x+y and y+x differ")
+	}
+	if Apply(OpMul, 0, x, y).Key() != Apply(OpMul, 0, y, x).Key() {
+		t.Error("x*y and y*x differ")
+	}
+	// Non-commutative must differ.
+	if Apply(OpShl, 0, x, y).Key() == Apply(OpShl, 0, y, x).Key() {
+		t.Error("x<<y and y<<x collide")
+	}
+}
+
+func TestAssociativeFlattening(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	left := Apply(OpAdd, 0, Apply(OpAdd, 0, x, y), z)
+	right := Apply(OpAdd, 0, x, Apply(OpAdd, 0, y, z))
+	if left.Key() != right.Key() {
+		t.Errorf("(x+y)+z != x+(y+z): %q vs %q", left.Key(), right.Key())
+	}
+}
+
+func TestSubLowering(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	sub := Apply(OpSub, 0, x, y)
+	addNeg := Apply(OpAdd, 0, x, Apply(OpNeg, 0, y))
+	if sub.Key() != addNeg.Key() {
+		t.Errorf("x-y and x+neg(y) differ: %q vs %q", sub.Key(), addNeg.Key())
+	}
+	// (x-y)+y must normalize back to x.
+	roundTrip := Apply(OpAdd, 0, sub, y)
+	if roundTrip.Key() != x.Key() {
+		t.Errorf("(x-y)+y = %q, want x", roundTrip.Key())
+	}
+}
+
+// randomExprAndGraph builds a random expression tree as both an Expr and a
+// parallel direct evaluation function, to check normalization soundness.
+type exprCase struct {
+	expr *Expr
+	eval func(env map[string]uint16) uint16
+}
+
+func randomExprCase(rng *rand.Rand, depth int, vars []string) exprCase {
+	if depth == 0 || rng.Float64() < 0.3 {
+		if rng.Float64() < 0.3 {
+			v := uint16(rng.Intn(1 << 16))
+			return exprCase{ConstExpr(v), func(map[string]uint16) uint16 { return v }}
+		}
+		name := vars[rng.Intn(len(vars))]
+		return exprCase{Var(name), func(env map[string]uint16) uint16 { return env[name] }}
+	}
+	binOps := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSMin, OpSMax, OpUMin, OpUMax, OpShl, OpLshr, OpAshr}
+	op := binOps[rng.Intn(len(binOps))]
+	a := randomExprCase(rng, depth-1, vars)
+	b := randomExprCase(rng, depth-1, vars)
+	return exprCase{
+		Apply(op, 0, a.expr, b.expr),
+		func(env map[string]uint16) uint16 {
+			return EvalOp(op, []uint16{a.eval(env), b.eval(env)}, 0)
+		},
+	}
+}
+
+// Property: normalization preserves semantics — the normalized Expr
+// evaluates identically to the direct computation, for random trees and
+// random inputs.
+func TestNormalizationSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []string{"a", "b", "c"}
+		c := randomExprCase(rng, 4, vars)
+		for trial := 0; trial < 16; trial++ {
+			env := map[string]uint16{
+				"a": uint16(rng.Intn(1 << 16)),
+				"b": uint16(rng.Intn(1 << 16)),
+				"c": uint16(rng.Intn(1 << 16)),
+			}
+			if EvalExpr(c.expr, env) != c.eval(env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal keys imply equal evaluation on random inputs (keys are a
+// sound equivalence witness).
+func TestKeyEqualityImpliesSemanticEqualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []string{"a", "b"}
+		x := randomExprCase(rng, 3, vars)
+		y := randomExprCase(rng, 3, vars)
+		if x.expr.Key() != y.expr.Key() {
+			return true // nothing to check
+		}
+		for trial := 0; trial < 32; trial++ {
+			env := map[string]uint16{
+				"a": uint16(rng.Intn(1 << 16)),
+				"b": uint16(rng.Intn(1 << 16)),
+			}
+			if x.eval(env) != y.eval(env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicEvalMAC(t *testing.T) {
+	g := buildMAC()
+	outs, err := g.SymbolicEval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := outs["out"]
+	if e == nil {
+		t.Fatal("no symbolic output")
+	}
+	want := Apply(OpAdd, 0, Apply(OpMul, 0, Var("a"), Var("b")), Var("c"))
+	if e.Key() != want.Key() {
+		t.Errorf("symbolic MAC = %q, want %q", e.Key(), want.Key())
+	}
+	vars := e.Vars()
+	if len(vars) != 3 {
+		t.Errorf("vars = %v, want a b c", vars)
+	}
+}
+
+func TestSymbolicEvalMatchesConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := buildMAC()
+	outs, _ := g.SymbolicEval()
+	for trial := 0; trial < 50; trial++ {
+		env := map[string]uint16{
+			"a": uint16(rng.Intn(1 << 16)),
+			"b": uint16(rng.Intn(1 << 16)),
+			"c": uint16(rng.Intn(1 << 16)),
+		}
+		concrete, _ := g.Eval(env)
+		if EvalExpr(outs["out"], env) != concrete["out"] {
+			t.Fatalf("symbolic and concrete eval disagree on %v", env)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Apply(OpAdd, 0, Var("x"), ConstExpr(2))
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

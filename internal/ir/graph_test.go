@@ -1,0 +1,266 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildMAC constructs out = a*b + c.
+func buildMAC() *Graph {
+	g := NewGraph("mac")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	m := g.OpNode(OpMul, a, b)
+	s := g.OpNode(OpAdd, m, c)
+	g.Output("out", s)
+	return g
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	g := buildMAC()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumNodes(); got != 6 {
+		t.Errorf("NumNodes = %d, want 6", got)
+	}
+	if n := g.ComputeNodeCount(); n != 2 {
+		t.Errorf("compute nodes = %d, want 2", n)
+	}
+	if len(g.Inputs()) != 3 || len(g.Outputs()) != 1 {
+		t.Errorf("IO counts wrong: %d in, %d out", len(g.Inputs()), len(g.Outputs()))
+	}
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	g := NewGraph("bad")
+	a := g.Input("a")
+	g.Nodes = append(g.Nodes, Node{Op: OpAdd, Args: []NodeRef{a}}) // 1 arg to add
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestValidateCatchesBadRef(t *testing.T) {
+	g := NewGraph("bad")
+	g.Nodes = append(g.Nodes, Node{Op: OpNeg, Args: []NodeRef{5}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	g := NewGraph("cyc")
+	g.Nodes = append(g.Nodes, Node{Op: OpNeg, Args: []NodeRef{1}})
+	g.Nodes = append(g.Nodes, Node{Op: OpNeg, Args: []NodeRef{0}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestOpNodePanicsOnArity(t *testing.T) {
+	g := NewGraph("x")
+	a := g.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.OpNode(OpAdd, a)
+}
+
+func TestEvalMAC(t *testing.T) {
+	g := buildMAC()
+	out, err := g.Eval(map[string]uint16{"a": 3, "b": 7, "c": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != 31 {
+		t.Errorf("3*7+10 = %d, want 31", out["out"])
+	}
+}
+
+func TestEvalWrapsAround(t *testing.T) {
+	g := NewGraph("wrap")
+	a := g.Input("a")
+	b := g.Input("b")
+	g.Output("s", g.OpNode(OpAdd, a, b))
+	out, err := g.Eval(map[string]uint16{"a": 0xffff, "b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["s"] != 1 {
+		t.Errorf("0xffff+2 = %d, want 1 (mod 2^16)", out["s"])
+	}
+}
+
+func TestEvalSelAndLUT(t *testing.T) {
+	g := NewGraph("sel")
+	c := g.InputB("c")
+	a := g.Input("a")
+	b := g.Input("b")
+	g.Output("o", g.OpNode(OpSel, c, a, b))
+	// LUT implementing majority(c, x, y): table bit i set when
+	// popcount(i) >= 2 for i = c<<2|x<<1|y.
+	x := g.InputB("x")
+	y := g.InputB("y")
+	g.Output("m", g.LUT(0b11101000, c, x, y))
+
+	out, _ := g.Eval(map[string]uint16{"c": 1, "a": 5, "b": 9, "x": 0, "y": 1})
+	if out["o"] != 5 {
+		t.Errorf("sel(1,5,9) = %d, want 5", out["o"])
+	}
+	if out["m"] != 1 {
+		t.Errorf("majority(1,0,1) = %d, want 1", out["m"])
+	}
+	out, _ = g.Eval(map[string]uint16{"c": 0, "a": 5, "b": 9, "x": 0, "y": 1})
+	if out["o"] != 9 {
+		t.Errorf("sel(0,5,9) = %d, want 9", out["o"])
+	}
+	if out["m"] != 0 {
+		t.Errorf("majority(0,0,1) = %d, want 0", out["m"])
+	}
+}
+
+func TestEvalSignedOps(t *testing.T) {
+	g := NewGraph("signed")
+	a := g.Input("a")
+	b := g.Input("b")
+	g.Output("min", g.OpNode(OpSMin, a, b))
+	g.Output("abs", g.OpNode(OpAbs, a))
+	g.Output("asr", g.OpNode(OpAshr, a, b))
+	g.Output("lt", g.OpNode(OpSlt, a, b))
+
+	neg5 := uint16(0xfffb) // -5
+	out, _ := g.Eval(map[string]uint16{"a": neg5, "b": 2})
+	if out["min"] != neg5 {
+		t.Errorf("smin(-5,2) = %#x, want -5", out["min"])
+	}
+	if out["abs"] != 5 {
+		t.Errorf("abs(-5) = %d, want 5", out["abs"])
+	}
+	if int16(out["asr"]) != -2 {
+		t.Errorf("ashr(-5,2) = %d, want -2", int16(out["asr"]))
+	}
+	if out["lt"] != 1 {
+		t.Errorf("slt(-5,2) = %d, want 1", out["lt"])
+	}
+}
+
+func TestToLabeledRoundTrip(t *testing.T) {
+	g := buildMAC()
+	lg, _ := g.ToLabeled()
+	if lg.NumNodes() != g.NumNodes() {
+		t.Fatalf("labeled nodes = %d, want %d", lg.NumNodes(), g.NumNodes())
+	}
+	counts := lg.LabelCounts()
+	if counts["mul"] != 1 || counts["add"] != 1 || counts["input"] != 3 {
+		t.Errorf("label counts wrong: %v", counts)
+	}
+}
+
+func TestToLabeledCollapsesCommutativePorts(t *testing.T) {
+	g := buildMAC()
+	lg, _ := g.ToLabeled()
+	for _, e := range lg.Edges() {
+		if lg.Label(e.To) == "add" || lg.Label(e.To) == "mul" {
+			if e.Port != 0 {
+				t.Errorf("commutative consumer edge has port %d, want 0", e.Port)
+			}
+		}
+	}
+}
+
+func TestToLabeledKeepsNonCommutativePorts(t *testing.T) {
+	g := NewGraph("shift")
+	a := g.Input("a")
+	b := g.Input("b")
+	g.Output("o", g.OpNode(OpShl, a, b))
+	lg, _ := g.ToLabeled()
+	ports := map[int]bool{}
+	for _, e := range lg.Edges() {
+		if lg.Label(e.To) == "shl" {
+			ports[e.Port] = true
+		}
+	}
+	if !ports[0] || !ports[1] {
+		t.Errorf("shl ports collapsed: %v", ports)
+	}
+}
+
+func TestFromLabeledMulAdd(t *testing.T) {
+	p := graph.New()
+	m := p.AddNode("mul")
+	a := p.AddNode("add")
+	p.AddEdge(m, a, 0)
+	g, err := FromLabeled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := g.CountOps()
+	if counts[OpMul] != 1 || counts[OpAdd] != 1 {
+		t.Errorf("ops wrong: %v", counts)
+	}
+	// mul needs 2 inputs, add needs 1 more (one comes from mul) = 3.
+	if counts[OpInput] != 3 {
+		t.Errorf("pattern inputs = %d, want 3", counts[OpInput])
+	}
+	if counts[OpOutput] != 1 {
+		t.Errorf("pattern outputs = %d, want 1", counts[OpOutput])
+	}
+	// Semantics: out = pin_a * pin_b + pin_c for some input naming.
+	out, err := g.Eval(map[string]uint16{"pin0": 3, "pin1": 4, "pin2": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 17 {
+			t.Errorf("mul-add pattern eval = %d, want 17", v)
+		}
+	}
+}
+
+func TestFromLabeledRejectsUnknownLabel(t *testing.T) {
+	p := graph.New()
+	p.AddNode("frobnicate")
+	if _, err := FromLabeled(p); err == nil {
+		t.Fatal("expected unknown-label error")
+	}
+}
+
+func TestFromLabeledSelGetsBitInput(t *testing.T) {
+	p := graph.New()
+	p.AddNode("sel")
+	g, err := FromLabeled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.CountOps()
+	if counts[OpInputB] != 1 {
+		t.Errorf("sel pattern should get 1 bit input, got %d", counts[OpInputB])
+	}
+	if counts[OpInput] != 2 {
+		t.Errorf("sel pattern should get 2 word inputs, got %d", counts[OpInput])
+	}
+}
+
+func TestRoundTripIsomorphism(t *testing.T) {
+	// IR -> labeled -> IR -> labeled must be isomorphic to the first
+	// labeled graph (modulo added inputs when the compute pattern had
+	// dangling operands — here it does not, so node counts match).
+	g := buildMAC()
+	lg, _ := g.ToLabeled()
+	g2, err := FromLabeled(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg2, _ := g2.ToLabeled()
+	if !graph.Isomorphic(lg, lg2) {
+		t.Fatalf("round trip not isomorphic:\n%s\n%s", lg, lg2)
+	}
+}

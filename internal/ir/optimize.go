@@ -1,0 +1,270 @@
+package ir
+
+// Optimize applies standard cleanup passes to an application graph and
+// returns the optimized copy: constant folding (compute nodes whose
+// operands are all constants become constants), algebraic identity
+// simplification (via the same rules the canonicalizer proves sound),
+// common subexpression elimination, and dead code elimination (nodes
+// that reach no output are dropped). The frontend runs this after
+// parsing; hand-built graphs may use it too.
+//
+// Structural nodes (memories, registers, FIFOs, ROMs) are barriers: they
+// are never folded, merged, or reordered — only removed when dead.
+func Optimize(g *Graph) *Graph {
+	folded := foldAndCSE(g)
+	return eliminateDead(folded)
+}
+
+// foldAndCSE rebuilds the graph in topological order, folding constant
+// subtrees, applying identity rules, and value-numbering identical nodes.
+func foldAndCSE(g *Graph) *Graph {
+	out := NewGraph(g.Name)
+	remap := make([]NodeRef, len(g.Nodes))
+	valueNum := map[string]NodeRef{}
+
+	intern := func(key string, build func() NodeRef) NodeRef {
+		if ref, ok := valueNum[key]; ok {
+			return ref
+		}
+		ref := build()
+		valueNum[key] = ref
+		return ref
+	}
+
+	order := make([]NodeRef, 0, len(g.Nodes))
+	state := make([]uint8, len(g.Nodes))
+	var visit func(v NodeRef)
+	visit = func(v NodeRef) {
+		if state[v] != 0 {
+			return
+		}
+		state[v] = 1
+		for _, a := range g.Nodes[v].Args {
+			visit(a)
+		}
+		order = append(order, v)
+	}
+	for v := range g.Nodes {
+		visit(NodeRef(v))
+	}
+
+	for _, v := range order {
+		n := g.Nodes[v]
+		switch n.Op {
+		case OpInput, OpInputB:
+			remap[v] = intern("in:"+n.Name+opSuffix(n.Op), func() NodeRef {
+				if n.Op == OpInputB {
+					return out.InputB(n.Name)
+				}
+				return out.Input(n.Name)
+			})
+		case OpConst:
+			remap[v] = internConst(out, valueNum, n.Val, false)
+		case OpConstB:
+			remap[v] = internConst(out, valueNum, n.Val&1, true)
+		case OpOutput:
+			remap[v] = out.Output(n.Name, remap[n.Args[0]])
+		case OpReg, OpMem, OpRegFileFIFO, OpRom:
+			// Barrier: copy as-is (no folding through state).
+			nn := n
+			nn.Args = []NodeRef{remap[n.Args[0]]}
+			out.Nodes = append(out.Nodes, nn)
+			remap[v] = NodeRef(len(out.Nodes) - 1)
+		default:
+			remap[v] = simplifyCompute(out, valueNum, n, remap)
+		}
+	}
+	return out
+}
+
+func opSuffix(op Op) string {
+	if op == OpInputB {
+		return "/b"
+	}
+	return ""
+}
+
+func internConst(out *Graph, valueNum map[string]NodeRef, val uint16, bit bool) NodeRef {
+	key := "c:" + itoa16(val)
+	if bit {
+		key += "/b"
+	}
+	if ref, ok := valueNum[key]; ok {
+		return ref
+	}
+	var ref NodeRef
+	if bit {
+		ref = out.ConstB(val != 0)
+	} else {
+		ref = out.Const(val)
+	}
+	valueNum[key] = ref
+	return ref
+}
+
+// simplifyCompute folds/simplifies one compute node and value-numbers the
+// result.
+func simplifyCompute(out *Graph, valueNum map[string]NodeRef, n Node, remap []NodeRef) NodeRef {
+	args := make([]NodeRef, len(n.Args))
+	allConst := true
+	vals := make([]uint16, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = remap[a]
+		an := out.Nodes[args[i]]
+		if an.Op == OpConst || an.Op == OpConstB {
+			vals[i] = an.Val
+		} else {
+			allConst = false
+		}
+	}
+	// Constant folding.
+	if allConst && len(args) > 0 {
+		v := EvalOp(n.Op, vals, n.Val)
+		return internConst(out, valueNum, v, n.Op.BitResult())
+	}
+	// Identity simplification: x+0, x*1, x*0, x&0, x|0, x^0, shifts by 0,
+	// sel with constant condition.
+	if ref, ok := identity(out, n, args); ok {
+		return ref
+	}
+	// CSE key: op + immediate + operand refs (commutative ops sort the
+	// first two operands).
+	a, b := -1, -1
+	if len(args) >= 2 {
+		a, b = int(args[0]), int(args[1])
+		if n.Op.Commutative() && b < a {
+			a, b = b, a
+		}
+	}
+	key := "op:" + n.Op.Name() + "/" + itoa16(n.Val)
+	if len(args) >= 2 {
+		key += ":" + itoa16(uint16(a)) + "," + itoa16(uint16(b))
+		for _, x := range args[2:] {
+			key += "," + itoa16(uint16(x))
+		}
+	} else {
+		for _, x := range args {
+			key += ":" + itoa16(uint16(x))
+		}
+	}
+	return intern2(valueNum, key, func() NodeRef {
+		nn := n
+		nn.Args = args
+		if len(args) >= 2 && n.Op.Commutative() {
+			nn.Args = append([]NodeRef(nil), args...)
+			nn.Args[0], nn.Args[1] = NodeRef(a), NodeRef(b)
+		}
+		out.Nodes = append(out.Nodes, nn)
+		return NodeRef(len(out.Nodes) - 1)
+	})
+}
+
+func intern2(valueNum map[string]NodeRef, key string, build func() NodeRef) NodeRef {
+	if ref, ok := valueNum[key]; ok {
+		return ref
+	}
+	ref := build()
+	valueNum[key] = ref
+	return ref
+}
+
+// identity applies safe algebraic identities when one operand is a known
+// constant. Returns (simplified ref, true) when a rewrite applies.
+func identity(out *Graph, n Node, args []NodeRef) (NodeRef, bool) {
+	constVal := func(i int) (uint16, bool) {
+		an := out.Nodes[args[i]]
+		if an.Op == OpConst {
+			return an.Val, true
+		}
+		return 0, false
+	}
+	switch n.Op {
+	case OpAdd, OpOr, OpXor:
+		if v, ok := constVal(1); ok && v == 0 {
+			return args[0], true
+		}
+		if v, ok := constVal(0); ok && v == 0 {
+			return args[1], true
+		}
+	case OpSub:
+		if v, ok := constVal(1); ok && v == 0 {
+			return args[0], true
+		}
+		if args[0] == args[1] {
+			return out.Const(0), true
+		}
+	case OpMul:
+		for i := 0; i < 2; i++ {
+			if v, ok := constVal(i); ok {
+				if v == 1 {
+					return args[1-i], true
+				}
+			}
+		}
+	case OpAnd:
+		if v, ok := constVal(1); ok && v == 0xffff {
+			return args[0], true
+		}
+		if v, ok := constVal(0); ok && v == 0xffff {
+			return args[1], true
+		}
+	case OpShl, OpLshr, OpAshr:
+		if v, ok := constVal(1); ok && v&15 == 0 {
+			return args[0], true
+		}
+	case OpSel:
+		cn := out.Nodes[args[0]]
+		if cn.Op == OpConstB {
+			if cn.Val&1 != 0 {
+				return args[1], true
+			}
+			return args[2], true
+		}
+		if args[1] == args[2] {
+			return args[1], true
+		}
+	}
+	return 0, false
+}
+
+// eliminateDead drops nodes unreachable from any output.
+func eliminateDead(g *Graph) *Graph {
+	live := make([]bool, len(g.Nodes))
+	var mark func(v NodeRef)
+	mark = func(v NodeRef) {
+		if live[v] {
+			return
+		}
+		live[v] = true
+		for _, a := range g.Nodes[v].Args {
+			mark(a)
+		}
+	}
+	for i, n := range g.Nodes {
+		if n.Op == OpOutput {
+			mark(NodeRef(i))
+		}
+	}
+	out := NewGraph(g.Name)
+	remap := make([]NodeRef, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if !live[i] {
+			continue
+		}
+		nn := n
+		nn.Args = make([]NodeRef, len(n.Args))
+		for j, a := range n.Args {
+			nn.Args[j] = remap[a]
+		}
+		out.Nodes = append(out.Nodes, nn)
+		remap[i] = NodeRef(len(out.Nodes) - 1)
+	}
+	return out
+}
+
+func itoa16(v uint16) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{
+		digits[v>>12&0xf], digits[v>>8&0xf], digits[v>>4&0xf], digits[v&0xf],
+	})
+}

@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	g := NewGraph("cf")
+	a := g.Const(3)
+	b := g.Const(4)
+	s := g.OpNode(OpMul, a, b)
+	x := g.Input("x")
+	g.Output("o", g.OpNode(OpAdd, x, s))
+	opt := Optimize(g)
+	if got := opt.ComputeNodeCount(); got != 1 {
+		t.Errorf("compute nodes after folding = %d, want 1 (just the add)", got)
+	}
+	out, _ := opt.Eval(map[string]uint16{"x": 10})
+	if out["o"] != 22 {
+		t.Errorf("folded eval = %d, want 22", out["o"])
+	}
+}
+
+func TestOptimizeIdentities(t *testing.T) {
+	g := NewGraph("id")
+	x := g.Input("x")
+	v := g.OpNode(OpAdd, x, g.Const(0))     // x
+	v = g.OpNode(OpMul, v, g.Const(1))      // x
+	v = g.OpNode(OpShl, v, g.Const(0))      // x
+	v = g.OpNode(OpAnd, v, g.Const(0xffff)) // x
+	g.Output("o", v)
+	opt := Optimize(g)
+	if got := opt.ComputeNodeCount(); got != 0 {
+		t.Errorf("identities left %d compute nodes, want 0", got)
+	}
+	out, _ := opt.Eval(map[string]uint16{"x": 77})
+	if out["o"] != 77 {
+		t.Errorf("o = %d, want 77", out["o"])
+	}
+}
+
+func TestOptimizeCSE(t *testing.T) {
+	g := NewGraph("cse")
+	x := g.Input("x")
+	y := g.Input("y")
+	a := g.OpNode(OpMul, x, y)
+	b := g.OpNode(OpMul, y, x) // commutative duplicate
+	g.Output("o", g.OpNode(OpAdd, a, b))
+	opt := Optimize(g)
+	if got := opt.CountOps()[OpMul]; got != 1 {
+		t.Errorf("muls after CSE = %d, want 1", got)
+	}
+	out, _ := opt.Eval(map[string]uint16{"x": 5, "y": 6})
+	if out["o"] != 60 {
+		t.Errorf("o = %d, want 60", out["o"])
+	}
+}
+
+func TestOptimizeDeadCode(t *testing.T) {
+	g := NewGraph("dce")
+	x := g.Input("x")
+	g.OpNode(OpMul, x, x) // dead
+	dead := g.OpNode(OpAdd, x, g.Const(9))
+	_ = dead
+	g.Output("o", x)
+	opt := Optimize(g)
+	if got := opt.ComputeNodeCount(); got != 0 {
+		t.Errorf("dead compute nodes survived: %d", got)
+	}
+}
+
+func TestOptimizeKeepsStructuralBarriers(t *testing.T) {
+	g := NewGraph("bar")
+	a := g.Const(5)
+	m := g.Mem(a) // memory of a constant must NOT fold
+	g.Output("o", g.OpNode(OpAdd, m, g.Const(1)))
+	opt := Optimize(g)
+	if opt.CountOps()[OpMem] != 1 {
+		t.Error("memory node folded away")
+	}
+	// Cycle semantics preserved.
+	lat1, _ := g.TotalLatency()
+	lat2, _ := opt.TotalLatency()
+	if lat1 != lat2 {
+		t.Errorf("latency changed: %d -> %d", lat1, lat2)
+	}
+}
+
+func TestOptimizeSelConstantCondition(t *testing.T) {
+	g := NewGraph("sel")
+	x := g.Input("x")
+	y := g.Input("y")
+	g.Output("o", g.OpNode(OpSel, g.ConstB(true), x, y))
+	opt := Optimize(g)
+	if opt.CountOps()[OpSel] != 0 {
+		t.Error("constant-condition select survived")
+	}
+	out, _ := opt.Eval(map[string]uint16{"x": 1, "y": 2})
+	if out["o"] != 1 {
+		t.Errorf("o = %d, want 1", out["o"])
+	}
+}
+
+// randomOptGraph builds a random graph exercising folding opportunities.
+func randomOptGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph("fuzz")
+	var pool []NodeRef
+	for i := 0; i < 3; i++ {
+		pool = append(pool, g.Input(fmt.Sprintf("i%d", i)))
+	}
+	for i := 0; i < 4; i++ {
+		pool = append(pool, g.Const(uint16(rng.Intn(4)))) // small consts hit identities
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpLshr, OpUMin, OpSMax}
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		pool = append(pool, g.OpNode(op, a, b))
+	}
+	g.Output("o", pool[len(pool)-1])
+	g.Output("p", pool[rng.Intn(len(pool))])
+	return g
+}
+
+// Property: optimization preserves semantics and never grows the graph.
+func TestOptimizePreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomOptGraph(rng, 3+rng.Intn(25))
+		opt := Optimize(g)
+		if opt.Validate() != nil {
+			return false
+		}
+		if opt.NumNodes() > g.NumNodes() {
+			return false
+		}
+		for trial := 0; trial < 12; trial++ {
+			env := map[string]uint16{
+				"i0": uint16(rng.Intn(1 << 16)),
+				"i1": uint16(rng.Intn(1 << 16)),
+				"i2": uint16(rng.Intn(1 << 16)),
+			}
+			want, err1 := g.Eval(env)
+			got, err2 := opt.Eval(env)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for name, w := range want {
+				if got[name] != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		g := randomOptGraph(rng, 15)
+		once := Optimize(g)
+		twice := Optimize(once)
+		if once.NumNodes() != twice.NumNodes() {
+			t.Fatalf("not idempotent: %d -> %d nodes", once.NumNodes(), twice.NumNodes())
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/tech"
+)
+
+// randomPatternGraph builds a random single-output compute pattern.
+func randomPatternGraph(rng *rand.Rand, depth int) *ir.Graph {
+	g := ir.NewGraph("p")
+	inputs := 0
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpAshr, ir.OpUMin, ir.OpSMax, ir.OpXor, ir.OpAnd}
+	var gen func(d int) ir.NodeRef
+	gen = func(d int) ir.NodeRef {
+		if d == 0 || rng.Float64() < 0.3 {
+			if rng.Float64() < 0.25 {
+				return g.Const(uint16(rng.Intn(256)))
+			}
+			inputs++
+			return g.Input(fmt.Sprintf("x%d", inputs))
+		}
+		op := ops[rng.Intn(len(ops))]
+		return g.OpNode(op, gen(d-1), gen(d-1))
+	}
+	g.Output("o", gen(depth))
+	return g
+}
+
+// TestMergePreservesImplementability is the central merge correctness
+// property (the paper's guarantee: the merged datapath "can be configured
+// to each of the operations represented by the subgraphs"): for random
+// pattern sets, every source pattern must remain structurally
+// implementable on the merged datapath. Implementability is checked by
+// the rewrite-rule synthesizer in the rewrite package's integration
+// tests; here we assert the structural precondition — every source's
+// units and wires survive the merge.
+func TestMergePreservesImplementability(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 60; trial++ {
+		var sources []*Datapath
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			p := randomPatternGraph(rng, 1+rng.Intn(2))
+			dp, err := FromPattern(p, fmt.Sprintf("s%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sources = append(sources, dp)
+		}
+		merged := MergeAll(sources, Options{})
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("trial %d: merged invalid: %v", trial, err)
+		}
+		// Capability: for every source, the merged datapath must have at
+		// least as many op-capable units per op as the source needs.
+		for si, src := range sources {
+			need := map[ir.Op]int{}
+			for _, u := range src.Units {
+				if u.Kind == UnitOp {
+					for _, op := range u.Ops {
+						need[op]++
+					}
+				}
+			}
+			for op, cnt := range need {
+				have := 0
+				for _, u := range merged.Units {
+					if u.Kind == UnitOp && u.SupportsOp(op) {
+						have++
+					}
+				}
+				if have < cnt {
+					t.Fatalf("trial %d: source %d needs %d units for %s, merged has %d",
+						trial, si, cnt, op, have)
+				}
+			}
+		}
+		// Area: the clique maximizes gross unit savings (the published
+		// Moreano formulation); multiplexer and configuration overhead is
+		// not in the weights, so a pathological merge can slightly exceed
+		// the disjoint union — this is precisely the overhead behind the
+		// paper's Fig. 12 over-merging penalty. Allow a 20% margin; a
+		// larger excess would indicate a reconstruction bug.
+		m := tech.Default()
+		union := sources[0].Clone()
+		for _, s := range sources[1:] {
+			union = DisjointUnion(union, s)
+		}
+		if merged.Area(m) > union.Area(m)*1.20 {
+			t.Fatalf("trial %d: merged area %.1f far above union %.1f",
+				trial, merged.Area(m), union.Area(m))
+		}
+	}
+}
+
+// TestMergeOrderInsensitiveCapability: merging in different orders may
+// give different areas (the fold is greedy) but never loses capability.
+func TestMergeOrderInsensitiveCapability(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 20; trial++ {
+		a := mustPattern(t, randomPatternGraph(rng, 2), "a")
+		b := mustPattern(t, randomPatternGraph(rng, 2), "b")
+		c := mustPattern(t, randomPatternGraph(rng, 1), "c")
+		m1 := MergeAll([]*Datapath{a, b, c}, Options{})
+		m2 := MergeAll([]*Datapath{c, b, a}, Options{})
+		ops1 := capability(m1)
+		ops2 := capability(m2)
+		for op, n := range ops1 {
+			if ops2[op] < 1 && n > 0 {
+				t.Fatalf("trial %d: order changed op capability for %s", trial, op)
+			}
+		}
+	}
+}
+
+func capability(d *Datapath) map[ir.Op]int {
+	m := map[ir.Op]int{}
+	for _, u := range d.Units {
+		if u.Kind == UnitOp {
+			for _, op := range u.Ops {
+				m[op]++
+			}
+		}
+	}
+	return m
+}
+
+func mustPattern(t *testing.T, g *ir.Graph, name string) *Datapath {
+	t.Helper()
+	dp, err := FromPattern(g, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}

@@ -1,0 +1,307 @@
+// Package mining implements frequent subgraph mining on a single large
+// labeled graph — the role GRAMI plays in the APEX paper (Section 3.1).
+//
+// The miner grows patterns one edge at a time from frequent single-edge
+// seeds (gSpan-style pattern extension adapted to directed ported graphs),
+// deduplicates candidates by canonical code, and measures frequency with
+// the MNI (minimum node image) support GRAMI uses: the minimum, over
+// pattern positions, of the number of distinct target nodes that appear in
+// that position across all embeddings. MNI is anti-monotone, so pruning
+// extensions of infrequent patterns is sound.
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Pattern is a mined frequent subgraph together with its occurrences.
+type Pattern struct {
+	Graph      *graph.Graph
+	Code       string            // canonical code (dedup key)
+	Embeddings []graph.Embedding // embeddings into the mined view
+	Support    int               // MNI support
+}
+
+// Size returns the number of nodes in the pattern.
+func (p *Pattern) Size() int { return p.Graph.NumNodes() }
+
+// ComputeSize returns the number of compute-op nodes in the pattern
+// (constants excluded).
+func (p *Pattern) ComputeSize() int {
+	n := 0
+	for v := 0; v < p.Graph.NumNodes(); v++ {
+		if op := ir.OpByName(p.Graph.Label(graph.NodeID(v))); op.IsCompute() {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures the miner.
+type Options struct {
+	// MinSupport is the minimum MNI support for a pattern to be frequent.
+	MinSupport int
+	// MaxNodes caps pattern size; 0 means the default of 8 (the paper's
+	// merged PEs are built from small subgraphs, cf. Fig. 10).
+	MaxNodes int
+	// MaxEmbeddings caps per-pattern embedding enumeration; 0 means the
+	// default of 20000. Hitting the cap under-counts support, which only
+	// makes the miner more conservative.
+	MaxEmbeddings int
+	// MinComputeNodes requires at least this many compute nodes per
+	// reported pattern; 0 means the default of 2 (a single operation is
+	// not an interesting PE candidate — the baseline already has it).
+	MinComputeNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 8
+	}
+	if o.MaxEmbeddings <= 0 {
+		o.MaxEmbeddings = 20000
+	}
+	if o.MinComputeNodes <= 0 {
+		o.MinComputeNodes = 2
+	}
+	return o
+}
+
+// Mine returns the frequent subgraphs of target, sorted by support
+// descending then size descending (larger first among equals), then
+// canonical code for determinism.
+func Mine(target *graph.Graph, opt Options) []Pattern {
+	opt = opt.withDefaults()
+
+	frontier := seedPatterns(target, opt)
+	seen := make(map[string]bool)
+	var results []Pattern
+
+	for len(frontier) > 0 {
+		var next []Pattern
+		for _, p := range frontier {
+			if p.Support >= opt.MinSupport && p.ComputeSize() >= opt.MinComputeNodes {
+				results = append(results, p)
+			}
+			if p.Size() >= opt.MaxNodes {
+				continue
+			}
+			for _, cand := range extensions(p, target) {
+				if seen[cand.code] {
+					continue
+				}
+				seen[cand.code] = true
+				emb := graph.FindEmbeddings(cand.pattern, target, graph.EmbedOptions{Limit: opt.MaxEmbeddings})
+				sup := mniSupport(cand.pattern, emb)
+				if sup < opt.MinSupport {
+					continue
+				}
+				next = append(next, Pattern{
+					Graph:      cand.pattern,
+					Code:       cand.code,
+					Embeddings: emb,
+					Support:    sup,
+				})
+			}
+		}
+		frontier = next
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Support != results[j].Support {
+			return results[i].Support > results[j].Support
+		}
+		if results[i].Size() != results[j].Size() {
+			return results[i].Size() > results[j].Size()
+		}
+		return results[i].Code < results[j].Code
+	})
+	return results
+}
+
+// seedPatterns builds all frequent single-edge patterns.
+func seedPatterns(target *graph.Graph, opt Options) []Pattern {
+	type edgeKind struct {
+		from, to string
+		port     int
+	}
+	kinds := make(map[edgeKind]bool)
+	for _, e := range target.Edges() {
+		kinds[edgeKind{target.Label(e.From), target.Label(e.To), e.Port}] = true
+	}
+	var keys []edgeKind
+	for k := range kinds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.port < b.port
+	})
+	var seeds []Pattern
+	for _, k := range keys {
+		p := graph.New()
+		f := p.AddNode(k.from)
+		t := p.AddNode(k.to)
+		p.AddEdge(f, t, k.port)
+		emb := graph.FindEmbeddings(p, target, graph.EmbedOptions{Limit: opt.MaxEmbeddings})
+		sup := mniSupport(p, emb)
+		if sup < opt.MinSupport {
+			continue
+		}
+		seeds = append(seeds, Pattern{
+			Graph:      p,
+			Code:       graph.CanonicalCode(p),
+			Embeddings: emb,
+			Support:    sup,
+		})
+	}
+	return seeds
+}
+
+type candidate struct {
+	pattern *graph.Graph
+	code    string
+}
+
+// extensions generates the one-edge extensions of p that are witnessed by
+// at least one embedding in the target: for every embedding and every
+// target edge incident to the embedding's image but not covered by the
+// pattern, produce the pattern plus that edge (adding a new node when the
+// other endpoint is outside the image). Deduplicated by canonical code.
+func extensions(p Pattern, target *graph.Graph) []candidate {
+	type extKey struct {
+		srcIn      bool // is the pattern-side endpoint the edge source?
+		pnode      graph.NodeID
+		otherLabel string
+		otherPNode graph.NodeID // >=0 when the other endpoint is also in the pattern
+		port       int
+	}
+	seen := make(map[extKey]bool)
+	var cands []candidate
+	codeSeen := make(map[string]bool)
+
+	for _, emb := range p.Embeddings {
+		// Reverse map: target node -> pattern node.
+		rev := make(map[graph.NodeID]graph.NodeID, len(emb))
+		for pi, tv := range emb {
+			rev[tv] = graph.NodeID(pi)
+		}
+		for pi, tv := range emb {
+			pn := graph.NodeID(pi)
+			// Outgoing target edges from this image node.
+			for _, te := range target.Out(tv) {
+				otherP, inImage := rev[te.To]
+				if inImage && p.Graph.HasEdge(pn, otherP, te.Port) {
+					continue // edge already in the pattern
+				}
+				k := extKey{srcIn: true, pnode: pn, otherLabel: target.Label(te.To), port: te.Port}
+				if inImage {
+					k.otherPNode = otherP
+				} else {
+					k.otherPNode = -1
+				}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				np := p.Graph.Clone()
+				dst := k.otherPNode
+				if dst < 0 {
+					dst = np.AddNode(k.otherLabel)
+				}
+				np.AddEdge(pn, dst, te.Port)
+				code := graph.CanonicalCode(np)
+				if !codeSeen[code] {
+					codeSeen[code] = true
+					cands = append(cands, candidate{np, code})
+				}
+			}
+			// Incoming target edges to this image node.
+			for _, te := range target.In(tv) {
+				otherP, inImage := rev[te.From]
+				if inImage && p.Graph.HasEdge(otherP, pn, te.Port) {
+					continue
+				}
+				k := extKey{srcIn: false, pnode: pn, otherLabel: target.Label(te.From), port: te.Port}
+				if inImage {
+					k.otherPNode = otherP
+				} else {
+					k.otherPNode = -1
+				}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				np := p.Graph.Clone()
+				src := k.otherPNode
+				if src < 0 {
+					src = np.AddNode(k.otherLabel)
+				}
+				np.AddEdge(src, pn, te.Port)
+				code := graph.CanonicalCode(np)
+				if !codeSeen[code] {
+					codeSeen[code] = true
+					cands = append(cands, candidate{np, code})
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// mniSupport computes GRAMI's minimum node image support: the minimum,
+// over pattern positions, of the number of distinct target nodes mapped to
+// that position.
+func mniSupport(p *graph.Graph, embs []graph.Embedding) int {
+	if len(embs) == 0 {
+		return 0
+	}
+	n := p.NumNodes()
+	images := make([]map[graph.NodeID]bool, n)
+	for i := range images {
+		images[i] = make(map[graph.NodeID]bool)
+	}
+	for _, e := range embs {
+		for i, tv := range e {
+			images[i][tv] = true
+		}
+	}
+	minImg := len(embs)
+	for _, img := range images {
+		if len(img) < minImg {
+			minImg = len(img)
+		}
+	}
+	return minImg
+}
+
+// ComputeView extracts the minable subgraph of an application graph: the
+// subgraph induced by compute nodes and the constants feeding them. The
+// returned mapping relates view node IDs back to IR node refs.
+func ComputeView(g *ir.Graph) (*graph.Graph, map[graph.NodeID]ir.NodeRef) {
+	lg, _ := g.ToLabeled()
+	var keep []graph.NodeID
+	for i, n := range g.Nodes {
+		if n.Op.IsCompute() || n.Op == ir.OpConst || n.Op == ir.OpConstB {
+			keep = append(keep, graph.NodeID(i))
+		}
+	}
+	view, remap := lg.InducedSubgraph(keep)
+	back := make(map[graph.NodeID]ir.NodeRef, len(keep))
+	for _, old := range keep {
+		back[remap[old]] = ir.NodeRef(old)
+	}
+	return view, back
+}

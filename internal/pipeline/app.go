@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"repro/internal/rewrite"
+)
+
+// AppOptions tunes application pipelining.
+type AppOptions struct {
+	// PELatency is the pipeline depth of every PE tile (homogeneous
+	// fabric), from PipelinePE.
+	PELatency int
+	// MemLatency is the memory-tile latency; default 1.
+	MemLatency int
+	// FIFOCutoff is the register-chain length above which a chain is
+	// replaced by a register-file FIFO (paper Section 4.3: "register
+	// chains greater than length 2"); default 2. Negative disables the
+	// substitution entirely (ablation).
+	FIFOCutoff int
+}
+
+func (o AppOptions) withDefaults() AppOptions {
+	if o.MemLatency <= 0 {
+		o.MemLatency = 1
+	}
+	if o.FIFOCutoff == 0 {
+		o.FIFOCutoff = 2
+	}
+	return o
+}
+
+// BalanceReport summarizes what branch delay matching inserted.
+type BalanceReport struct {
+	RegsInserted  int // pipeline registers added (after FIFO substitution)
+	FIFOsInserted int // register-file FIFOs substituted for long chains
+	TotalLatency  int // input-to-output latency of the balanced design
+}
+
+// nodeLatency returns the cycle latency a mapped node contributes under
+// the given options.
+func nodeLatency(n *rewrite.MNode, opt AppOptions) int {
+	switch n.Kind {
+	case rewrite.KindPE:
+		return opt.PELatency
+	case rewrite.KindMem, rewrite.KindRom:
+		return opt.MemLatency
+	case rewrite.KindReg:
+		return 1
+	case rewrite.KindRegFile:
+		return n.Depth
+	default:
+		return 0
+	}
+}
+
+// BalanceApp performs branch delay matching on a mapped application
+// graph (paper Section 4.3): traverse from inputs to outputs tracking
+// data arrival times; wherever a node's operands arrive at different
+// cycles, insert pipeline registers on the early paths. Register chains
+// longer than FIFOCutoff become register-file FIFOs. The input graph is
+// not modified; a balanced copy is returned.
+func BalanceApp(m *rewrite.Mapped, opt AppOptions) (*rewrite.Mapped, BalanceReport) {
+	opt = opt.withDefaults()
+	out := &rewrite.Mapped{Name: m.Name + "+balanced", Spec: m.Spec}
+	// Copy nodes; indices are preserved, padding nodes appended.
+	for _, n := range m.Nodes {
+		out.Nodes = append(out.Nodes, cloneMNode(n))
+	}
+
+	var report BalanceReport
+	arrival := make([]int, len(m.Nodes))
+
+	// delayed returns a node index presenting producer p's value delayed
+	// to cycle 'want'.
+	delayed := func(p int, want int) int {
+		have := arrival[p]
+		gap := want - have
+		if gap <= 0 {
+			return p
+		}
+		if opt.FIFOCutoff >= 0 && gap > opt.FIFOCutoff {
+			out.Nodes = append(out.Nodes, rewrite.MNode{
+				Kind: rewrite.KindRegFile, Arg: p, Depth: gap,
+			})
+			report.FIFOsInserted++
+			return len(out.Nodes) - 1
+		}
+		cur := p
+		for i := 0; i < gap; i++ {
+			out.Nodes = append(out.Nodes, rewrite.MNode{Kind: rewrite.KindReg, Arg: cur})
+			report.RegsInserted++
+			cur = len(out.Nodes) - 1
+		}
+		return cur
+	}
+
+	for _, i := range m.TopoOrder() {
+		n := &out.Nodes[i]
+		prods := m.Nodes[i].Producers()
+		if len(prods) == 0 {
+			arrival[i] = nodeLatency(n, opt)
+			continue
+		}
+		latest := 0
+		for _, p := range prods {
+			if arrival[p] > latest {
+				latest = arrival[p]
+			}
+		}
+		// Delay-match every operand to the latest arrival.
+		switch n.Kind {
+		case rewrite.KindPE:
+			for pos, p := range n.DataIn {
+				n.DataIn[pos] = delayed(p, latest)
+			}
+			for pos, p := range n.BitIn {
+				n.BitIn[pos] = delayed(p, latest)
+			}
+		default:
+			if n.Arg >= 0 {
+				n.Arg = delayed(n.Arg, latest)
+			}
+		}
+		arrival[i] = latest + nodeLatency(n, opt)
+		if arrival[i] > report.TotalLatency {
+			report.TotalLatency = arrival[i]
+		}
+	}
+	return out, report
+}
+
+// CheckBalanced verifies the branch-delay-matching invariant: every
+// multi-operand node sees identical arrival times on all operands. It
+// returns the first offending node index, or -1 when balanced.
+func CheckBalanced(m *rewrite.Mapped, opt AppOptions) int {
+	opt = opt.withDefaults()
+	arrival := make([]int, len(m.Nodes))
+	for _, i := range m.TopoOrder() {
+		n := &m.Nodes[i]
+		prods := n.Producers()
+		if len(prods) > 1 {
+			first := arrival[prods[0]]
+			for _, p := range prods[1:] {
+				if arrival[p] != first {
+					return i
+				}
+			}
+		}
+		in := 0
+		if len(prods) > 0 {
+			in = arrival[prods[0]]
+			for _, p := range prods {
+				if arrival[p] > in {
+					in = arrival[p]
+				}
+			}
+		}
+		arrival[i] = in + nodeLatency(n, opt)
+	}
+	return -1
+}
+
+func cloneMNode(n rewrite.MNode) rewrite.MNode {
+	c := n
+	if n.DataIn != nil {
+		c.DataIn = make(map[int]int, len(n.DataIn))
+		for k, v := range n.DataIn {
+			c.DataIn[k] = v
+		}
+	}
+	if n.BitIn != nil {
+		c.BitIn = make(map[int]int, len(n.BitIn))
+		for k, v := range n.BitIn {
+			c.BitIn[k] = v
+		}
+	}
+	if n.ConstVals != nil {
+		c.ConstVals = make(map[int]uint16, len(n.ConstVals))
+		for k, v := range n.ConstVals {
+			c.ConstVals[k] = v
+		}
+	}
+	if n.LUTTables != nil {
+		c.LUTTables = make(map[int]uint16, len(n.LUTTables))
+		for k, v := range n.LUTTables {
+			c.LUTTables[k] = v
+		}
+	}
+	return c
+}

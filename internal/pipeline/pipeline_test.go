@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+	"repro/internal/rewrite"
+	"repro/internal/tech"
+)
+
+func baselineSpec(t *testing.T) *pe.Spec {
+	t.Helper()
+	return pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+}
+
+// deepSpec builds a deliberately deep PE: a chain of 4 multiplies.
+func deepSpec(t *testing.T) *pe.Spec {
+	t.Helper()
+	g := ir.NewGraph("deep")
+	x := g.Input("x")
+	acc := x
+	for i := 0; i < 4; i++ {
+		acc = g.OpNode(ir.OpMul, acc, g.Input(string(rune('a'+i))))
+	}
+	g.Output("o", acc)
+	dp, err := merge.FromPattern(g, "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe.FromDatapath("deep", dp)
+}
+
+func TestRetimeZeroStagesIsCombinational(t *testing.T) {
+	m := tech.Default()
+	s := deepSpec(t)
+	p := Retime(s, m, 0)
+	if p.Stages != 0 || p.ExtraRegs != 0 {
+		t.Fatalf("zero-stage retime added stages/regs: %+v", p)
+	}
+	// Period equals the 4-multiply chain.
+	mulD := m.HWClassCost("mul").Delay
+	if p.PeriodPS < 4*mulD*0.99 {
+		t.Errorf("combinational period %.0f below 4 multiplies %.0f", p.PeriodPS, 4*mulD)
+	}
+}
+
+func TestRetimeReducesPeriodMonotonically(t *testing.T) {
+	m := tech.Default()
+	s := deepSpec(t)
+	prev := Retime(s, m, 0).PeriodPS
+	for stages := 1; stages <= 3; stages++ {
+		p := Retime(s, m, stages)
+		if p.PeriodPS > prev*1.001 {
+			t.Errorf("stages=%d period %.0f worse than previous %.0f", stages, p.PeriodPS, prev)
+		}
+		if p.Stages > stages {
+			t.Errorf("retime used %d stages with budget %d", p.Stages, stages)
+		}
+		prev = p.PeriodPS
+	}
+}
+
+func TestRetimeStagesRespectDataflow(t *testing.T) {
+	m := tech.Default()
+	s := deepSpec(t)
+	p := Retime(s, m, 3)
+	for _, w := range s.DP.Wires {
+		if p.StageOf[w.From] > p.StageOf[w.To] {
+			t.Fatalf("wire %d->%d goes backward in stages (%d -> %d)",
+				w.From, w.To, p.StageOf[w.From], p.StageOf[w.To])
+		}
+	}
+}
+
+func TestPipelinePEMeetsTarget(t *testing.T) {
+	m := tech.Default()
+	s := deepSpec(t)
+	p := PipelinePE(s, m, Options{})
+	if p.PeriodPS > tech.ClockPeriodPS {
+		t.Errorf("pipelined period %.0f exceeds target %.0f (stages=%d)",
+			p.PeriodPS, tech.ClockPeriodPS, p.Stages)
+	}
+	if p.Stages == 0 {
+		t.Error("deep PE should need at least one stage")
+	}
+}
+
+func TestPipelinePEBaselineNoStages(t *testing.T) {
+	// A single-level baseline PE fits in the clock; no stages needed.
+	m := tech.Default()
+	p := PipelinePE(baselineSpec(t), m, Options{})
+	if p.Stages != 0 {
+		t.Errorf("baseline PE pipelined to %d stages unnecessarily", p.Stages)
+	}
+}
+
+func TestPipelinedAreaIncludesRegs(t *testing.T) {
+	m := tech.Default()
+	s := deepSpec(t)
+	p0 := Retime(s, m, 0)
+	p3 := Retime(s, m, 3)
+	if p3.ExtraRegs == 0 {
+		t.Fatal("3-stage retime inserted no registers")
+	}
+	if p3.Area(m) <= p0.Area(m) {
+		t.Error("pipelined area not larger than combinational")
+	}
+}
+
+// mapConv produces a mapped graph with unbalanced branches: a multiply
+// path joining a direct path.
+func mapConv(t *testing.T) (*ir.Graph, *rewrite.Mapped) {
+	t.Helper()
+	g := ir.NewGraph("unbal")
+	a := g.Input("a")
+	b := g.Input("b")
+	m1 := g.OpNode(ir.OpMul, a, b)
+	m2 := g.OpNode(ir.OpMul, m1, b)
+	s := g.OpNode(ir.OpAdd, m2, a) // 'a' arrives 2 PE-latencies early
+	g.Output("o", s)
+	spec := baselineSpec(t)
+	rs, err := rewrite.SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rewrite.MapApp(g, rs, "unbal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+func TestBalanceAppInsertsRegisters(t *testing.T) {
+	_, m := mapConv(t)
+	opt := AppOptions{PELatency: 1, FIFOCutoff: 10}
+	if CheckBalanced(m, opt) < 0 {
+		t.Fatal("graph unexpectedly balanced before matching")
+	}
+	bal, report := BalanceApp(m, opt)
+	if report.RegsInserted == 0 {
+		t.Fatal("no registers inserted")
+	}
+	if idx := CheckBalanced(bal, opt); idx >= 0 {
+		t.Fatalf("still unbalanced at node %d", idx)
+	}
+	if err := bal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceAppFIFOSubstitution(t *testing.T) {
+	_, m := mapConv(t)
+	opt := AppOptions{PELatency: 3, FIFOCutoff: 2}
+	bal, report := BalanceApp(m, opt)
+	// The short path is 6 cycles behind (2 PEs x 3); gap > cutoff 2 so a
+	// FIFO must replace the register chain.
+	if report.FIFOsInserted == 0 {
+		t.Fatal("no FIFO substituted for a 6-deep chain")
+	}
+	if idx := CheckBalanced(bal, opt); idx >= 0 {
+		t.Fatalf("unbalanced at node %d", idx)
+	}
+}
+
+func TestBalanceAppCutoffDisabled(t *testing.T) {
+	_, m := mapConv(t)
+	opt := AppOptions{PELatency: 3, FIFOCutoff: -1}
+	bal, report := BalanceApp(m, opt)
+	if report.FIFOsInserted != 0 {
+		t.Fatal("FIFO inserted with substitution disabled")
+	}
+	if report.RegsInserted < 6 {
+		t.Errorf("regs = %d, want >= 6", report.RegsInserted)
+	}
+	if idx := CheckBalanced(bal, opt); idx >= 0 {
+		t.Fatalf("unbalanced at node %d", idx)
+	}
+}
+
+func TestBalancePreservesSteadyStateSemantics(t *testing.T) {
+	app, m := mapConv(t)
+	bal, _ := BalanceApp(m, AppOptions{PELatency: 2})
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		inputs := map[string]uint16{
+			"a": uint16(rng.Intn(1 << 16)),
+			"b": uint16(rng.Intn(1 << 16)),
+		}
+		want, err := app.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bal.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["o"] != want["o"] {
+			t.Fatalf("balanced graph diverged: %d != %d", got["o"], want["o"])
+		}
+	}
+}
+
+func TestBalanceRealAppsAllVariants(t *testing.T) {
+	spec := baselineSpec(t)
+	rs, err := rewrite.SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*apps.App{apps.Harris(), apps.ResNet()} {
+		m, err := rewrite.MapApp(a.Graph, rs, a.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lat := range []int{0, 1, 2} {
+			opt := AppOptions{PELatency: lat}
+			bal, report := BalanceApp(m, opt)
+			if idx := CheckBalanced(bal, opt); idx >= 0 {
+				t.Errorf("%s lat=%d: unbalanced at %d", a.Name, lat, idx)
+			}
+			if lat == 0 && a.Name == "harris" && report.RegsInserted > 0 {
+				// With zero PE latency only memory skew needs matching.
+				t.Logf("harris lat=0 inserted %d regs (memory skew)", report.RegsInserted)
+			}
+		}
+	}
+}
+
+func TestChainVsFIFOCutoffSweep(t *testing.T) {
+	// DESIGN.md ablation 3: larger cutoffs shift FIFOs back to registers.
+	_, m := mapConv(t)
+	prevRegs := -1
+	for _, cutoff := range []int{1, 2, 4, 8} {
+		_, report := BalanceApp(m, AppOptions{PELatency: 3, FIFOCutoff: cutoff})
+		if prevRegs >= 0 && report.RegsInserted < prevRegs {
+			t.Errorf("cutoff %d: regs %d decreased vs smaller cutoff %d", cutoff, report.RegsInserted, prevRegs)
+		}
+		prevRegs = report.RegsInserted
+	}
+}

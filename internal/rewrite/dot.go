@@ -1,0 +1,64 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the mapped graph in Graphviz syntax: PEs as boxes labeled
+// with their rule, memories as cylinders, I/O as ellipses, and balancing
+// registers/FIFOs as small circles — useful for inspecting what the
+// instruction selector and branch delay matcher produced.
+func (m *Mapped) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", m.Name)
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		var label, shape string
+		switch n.Kind {
+		case KindPE:
+			label, shape = "PE "+n.Rule.Name, "box"
+		case KindMem:
+			label, shape = "mem", "cylinder"
+		case KindRom:
+			label, shape = fmt.Sprintf("rom%d", n.Val), "cylinder"
+		case KindRegFile:
+			label, shape = fmt.Sprintf("rf[%d]", n.Depth), "cylinder"
+		case KindReg:
+			label, shape = "r", "circle"
+		case KindInput, KindInputB:
+			label, shape = n.Name, "ellipse"
+		case KindOutput:
+			label, shape = n.Name, "doubleoctagon"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", i, label, shape)
+	}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		switch n.Kind {
+		case KindPE:
+			for _, pos := range sortedKeys(n.DataIn) {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"in%d\"];\n", n.DataIn[pos], i, pos)
+			}
+			for _, pos := range sortedKeys(n.BitIn) {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"inb%d\", style=dashed];\n", n.BitIn[pos], i, pos)
+			}
+		default:
+			if n.Arg >= 0 {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", n.Arg, i)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sortedKeys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,38 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+)
+
+func TestMappedDOT(t *testing.T) {
+	g := ir.NewGraph("d")
+	a := g.Input("a")
+	b := g.Input("b")
+	s := g.OpNode(ir.OpAdd, a, b)
+	m := g.Mem(s)
+	g.Output("o", m)
+
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	rs, err := SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := MapApp(g, rs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := mapped.DOT()
+	for _, want := range []string{"digraph", "PE add", "mem", `label="a"`, `label="o"`, "in0", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if dot != mapped.DOT() {
+		t.Error("DOT not deterministic")
+	}
+}

@@ -1,0 +1,598 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pe"
+)
+
+// NodeKind discriminates mapped-graph nodes (tile-level entities).
+type NodeKind uint8
+
+const (
+	KindInput NodeKind = iota
+	KindInputB
+	KindOutput
+	KindMem     // memory tile
+	KindReg     // pipeline register (lives in the interconnect)
+	KindRegFile // register file used as a FIFO (lives in a PE tile)
+	KindRom     // constant table in a memory tile
+	KindPE      // configured processing element
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindInputB:
+		return "inputb"
+	case KindOutput:
+		return "output"
+	case KindMem:
+		return "mem"
+	case KindReg:
+		return "reg"
+	case KindRegFile:
+		return "regfile"
+	case KindRom:
+		return "rom"
+	case KindPE:
+		return "pe"
+	}
+	return "?"
+}
+
+// MNode is one node of the mapped graph.
+type MNode struct {
+	Kind NodeKind
+	Name string // IO name for inputs/outputs
+
+	// PE fields.
+	Rule      *Rule
+	DataIn    map[int]int    // PE data-input position -> producer node
+	BitIn     map[int]int    // PE bit-input position -> producer node
+	ConstVals map[int]uint16 // constant unit -> per-site value
+	LUTTables map[int]uint16 // LUT functional unit -> per-site table
+
+	// Single-producer fields (mem/reg/regfile/rom/output).
+	Arg   int // producer node index, -1 for sources
+	Depth int // FIFO depth for KindRegFile
+	Val   uint16
+}
+
+// Producers returns the indices of all producer nodes feeding n.
+func (n *MNode) Producers() []int {
+	switch n.Kind {
+	case KindPE:
+		var ps []int
+		for _, p := range n.DataIn {
+			ps = append(ps, p)
+		}
+		for _, p := range n.BitIn {
+			ps = append(ps, p)
+		}
+		return ps
+	case KindInput, KindInputB:
+		return nil
+	default:
+		if n.Arg < 0 {
+			return nil
+		}
+		return []int{n.Arg}
+	}
+}
+
+// Mapped is an application mapped onto a PE architecture: a graph of PE,
+// memory, register, and I/O nodes ready for pipelining and place-and-
+// route.
+type Mapped struct {
+	Name  string
+	Spec  *pe.Spec
+	Nodes []MNode
+}
+
+// NumPEs counts PE nodes.
+func (m *Mapped) NumPEs() int { return m.countKind(KindPE) }
+
+// NumMems counts memory-tile nodes (mem + rom).
+func (m *Mapped) NumMems() int { return m.countKind(KindMem) + m.countKind(KindRom) }
+
+// NumIO counts input and output nodes.
+func (m *Mapped) NumIO() int {
+	return m.countKind(KindInput) + m.countKind(KindInputB) + m.countKind(KindOutput)
+}
+
+// NumRegs counts interconnect pipeline registers.
+func (m *Mapped) NumRegs() int { return m.countKind(KindReg) }
+
+// NumRegFiles counts register-file FIFOs.
+func (m *Mapped) NumRegFiles() int { return m.countKind(KindRegFile) }
+
+func (m *Mapped) countKind(k NodeKind) int {
+	n := 0
+	for i := range m.Nodes {
+		if m.Nodes[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks producer indices and acyclicity.
+func (m *Mapped) Validate() error {
+	for i := range m.Nodes {
+		for _, p := range m.Nodes[i].Producers() {
+			if p < 0 || p >= len(m.Nodes) {
+				return fmt.Errorf("rewrite: mapped node %d references %d out of range", i, p)
+			}
+		}
+	}
+	// Cycle check via DFS.
+	state := make([]uint8, len(m.Nodes))
+	var visit func(i int) error
+	visit = func(i int) error {
+		if state[i] == 2 {
+			return nil
+		}
+		if state[i] == 1 {
+			return fmt.Errorf("rewrite: mapped graph cycle at node %d", i)
+		}
+		state[i] = 1
+		for _, p := range m.Nodes[i].Producers() {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range m.Nodes {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns node indices in dependency order.
+func (m *Mapped) TopoOrder() []int {
+	state := make([]uint8, len(m.Nodes))
+	order := make([]int, 0, len(m.Nodes))
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		for _, p := range m.Nodes[i].Producers() {
+			visit(p)
+		}
+		state[i] = 2
+		order = append(order, i)
+	}
+	for i := range m.Nodes {
+		visit(i)
+	}
+	return order
+}
+
+// Eval runs the mapped graph's functional model combinationally (memory
+// and registers transparent): every PE evaluates its configured spec. The
+// result must match the original application graph's Eval — the core
+// correctness property of the compiler.
+func (m *Mapped) Eval(inputs map[string]uint16) (map[string]uint16, error) {
+	vals := make([]uint16, len(m.Nodes))
+	outs := map[string]uint16{}
+	for _, i := range m.TopoOrder() {
+		n := &m.Nodes[i]
+		switch n.Kind {
+		case KindInput:
+			vals[i] = inputs[n.Name]
+		case KindInputB:
+			vals[i] = inputs[n.Name] & 1
+		case KindMem, KindReg, KindRegFile:
+			vals[i] = vals[n.Arg]
+		case KindRom:
+			vals[i] = ir.EvalOp(ir.OpRom, []uint16{vals[n.Arg]}, n.Val)
+		case KindOutput:
+			vals[i] = vals[n.Arg]
+			outs[n.Name] = vals[i]
+		case KindPE:
+			cfg := n.Rule.Config.Clone()
+			for cu, v := range n.ConstVals {
+				cfg.ConstVals[cu] = v
+			}
+			for fu, tbl := range n.LUTTables {
+				cfg.ConstVals[fu] = tbl
+			}
+			inVals := map[int]uint16{}
+			for pos, p := range n.DataIn {
+				inVals[pos] = vals[p]
+			}
+			bitVals := map[int]uint16{}
+			for pos, p := range n.BitIn {
+				bitVals[pos] = vals[p]
+			}
+			res, err := m.Spec.Evaluate(cfg, inVals, bitVals)
+			if err != nil {
+				return nil, fmt.Errorf("rewrite: PE node %d (%s): %w", i, n.Rule.Name, err)
+			}
+			vals[i] = res[n.Rule.OutUnit]
+		}
+	}
+	return outs, nil
+}
+
+// match records one committed rule application.
+type match struct {
+	rule     *Rule
+	root     ir.NodeRef
+	nodeMap  map[ir.NodeRef]ir.NodeRef // pattern compute/const -> app node
+	inputMap map[ir.NodeRef]ir.NodeRef // pattern input -> app producer
+}
+
+// MapApp covers the application graph with the rule set's patterns,
+// complex rules first (the paper's greedy LLVM-style instruction
+// selection), and returns the mapped graph.
+func MapApp(app *ir.Graph, rs *RuleSet, name string) (*Mapped, error) {
+	users := make([][]ir.NodeRef, len(app.Nodes))
+	for i, n := range app.Nodes {
+		for _, a := range n.Args {
+			users[a] = append(users[a], ir.NodeRef(i))
+		}
+	}
+	covered := make([]*match, len(app.Nodes))
+	isRoot := make([]bool, len(app.Nodes))
+	required := make([]bool, len(app.Nodes))
+	// Values consumed by structural nodes must be exposed on the fabric.
+	for _, n := range app.Nodes {
+		switch n.Op {
+		case ir.OpOutput, ir.OpMem, ir.OpReg, ir.OpRegFileFIFO, ir.OpRom:
+			for _, a := range n.Args {
+				required[a] = true
+			}
+		}
+	}
+
+	var matches []*match
+	order := reverseTopo(app)
+	for _, rule := range rs.Rules {
+		rootOp := app0Op(rule)
+		for _, av := range order {
+			n := &app.Nodes[av]
+			if n.Op != rootOp || covered[av] != nil {
+				continue
+			}
+			mt := tryMatch(app, users, covered, required, isRoot, rule, av)
+			if mt == nil {
+				continue
+			}
+			// Commit.
+			matches = append(matches, mt)
+			for pv, anode := range mt.nodeMap {
+				if rule.Pattern.Nodes[pv].Op.IsCompute() {
+					covered[anode] = mt
+				}
+			}
+			isRoot[mt.root] = true
+			for _, anode := range mt.inputMap {
+				if app.Nodes[anode].Op.IsCompute() {
+					required[anode] = true
+				}
+			}
+		}
+	}
+
+	// Every compute node must be covered.
+	for i, n := range app.Nodes {
+		if n.Op.IsCompute() && covered[i] == nil {
+			return nil, fmt.Errorf("rewrite: no rule covers node %d (%s) — PE lacks op %s",
+				i, n.Op, n.Op)
+		}
+	}
+
+	return buildMapped(app, covered, matches, rs.Spec, name)
+}
+
+func app0Op(rule *Rule) ir.Op { return rule.Pattern.Nodes[rule.Root].Op }
+
+func reverseTopo(app *ir.Graph) []ir.NodeRef {
+	// Reverse topological: users before producers, so bigger matches
+	// claim downstream roots first.
+	n := len(app.Nodes)
+	state := make([]uint8, n)
+	var order []ir.NodeRef
+	var visit func(v ir.NodeRef)
+	visit = func(v ir.NodeRef) {
+		if state[v] != 0 {
+			return
+		}
+		state[v] = 1
+		for _, a := range app.Nodes[v].Args {
+			visit(a)
+		}
+		state[v] = 2
+		order = append(order, v)
+	}
+	for v := 0; v < n; v++ {
+		visit(ir.NodeRef(v))
+	}
+	// order is topological (producers first); reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// tryMatch attempts to match the rule's pattern rooted at app node av.
+func tryMatch(app *ir.Graph, users [][]ir.NodeRef, covered []*match, required, isRoot []bool, rule *Rule, av ir.NodeRef) *match {
+	mt := &match{
+		rule:     rule,
+		root:     av,
+		nodeMap:  map[ir.NodeRef]ir.NodeRef{},
+		inputMap: map[ir.NodeRef]ir.NodeRef{},
+	}
+	rev := map[ir.NodeRef]ir.NodeRef{}
+	var bind func(pv, anode ir.NodeRef) bool
+	bind = func(pv, anode ir.NodeRef) bool {
+		pn := &rule.Pattern.Nodes[pv]
+		an := &app.Nodes[anode]
+		switch pn.Op {
+		case ir.OpInput:
+			// Wildcard: any producer except constants and outputs.
+			if an.Op == ir.OpConst || an.Op == ir.OpConstB || an.Op == ir.OpOutput {
+				return false
+			}
+			// The producer's value must be exposable: it must not be
+			// interior to another committed match.
+			if cm := covered[anode]; cm != nil && cm.root != anode {
+				return false
+			}
+			if prev, ok := mt.inputMap[pv]; ok {
+				return prev == anode
+			}
+			mt.inputMap[pv] = anode
+			return true
+		case ir.OpInputB:
+			if an.Op == ir.OpConst || an.Op == ir.OpConstB || an.Op == ir.OpOutput {
+				return false
+			}
+			if cm := covered[anode]; cm != nil && cm.root != anode {
+				return false
+			}
+			if prev, ok := mt.inputMap[pv]; ok {
+				return prev == anode
+			}
+			mt.inputMap[pv] = anode
+			return true
+		case ir.OpConst:
+			if an.Op != ir.OpConst {
+				return false
+			}
+			mt.nodeMap[pv] = anode
+			return true
+		case ir.OpConstB:
+			if an.Op != ir.OpConstB {
+				return false
+			}
+			mt.nodeMap[pv] = anode
+			return true
+		}
+		// Compute node.
+		if an.Op != pn.Op {
+			return false
+		}
+		if covered[anode] != nil {
+			return false
+		}
+		// Interior nodes must be absorbable: not required on the fabric.
+		if anode != av && required[anode] {
+			return false
+		}
+		if prev, ok := mt.nodeMap[pv]; ok {
+			return prev == anode
+		}
+		if prevP, ok := rev[anode]; ok && prevP != pv {
+			return false
+		}
+		mt.nodeMap[pv] = anode
+		rev[anode] = pv
+
+		orders := [][]int{identityOrder(len(pn.Args))}
+		if pn.Op.Commutative() && len(pn.Args) == 2 {
+			orders = append(orders, []int{1, 0})
+		}
+		for _, ord := range orders {
+			ok := true
+			// Snapshot for backtracking across operand orders.
+			snapNode := copyRefRefMap(mt.nodeMap)
+			snapIn := copyRefRefMap(mt.inputMap)
+			snapRev := copyRefRefMap(rev)
+			for p := range pn.Args {
+				if !bind(pn.Args[p], an.Args[ord[p]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+			mt.nodeMap = snapNode
+			mt.inputMap = snapIn
+			rev = snapRev
+			// Re-establish this node's own binding after restore.
+			mt.nodeMap[pv] = anode
+			rev[anode] = pv
+		}
+		delete(mt.nodeMap, pv)
+		delete(rev, anode)
+		return false
+	}
+	if !bind(rule.Root, av) {
+		return nil
+	}
+	// Interior compute nodes must have every user inside the match.
+	for pv, anode := range mt.nodeMap {
+		if !rule.Pattern.Nodes[pv].Op.IsCompute() || anode == av {
+			continue
+		}
+		for _, u := range users[anode] {
+			if _, ok := rev[u]; !ok {
+				return nil
+			}
+		}
+	}
+	// A wildcard operand must not point at a node this very match
+	// absorbs as interior (its value would not exist on the fabric).
+	for _, anode := range mt.inputMap {
+		if _, interior := rev[anode]; interior && anode != av {
+			return nil
+		}
+	}
+	return mt
+}
+
+func copyRefRefMap(m map[ir.NodeRef]ir.NodeRef) map[ir.NodeRef]ir.NodeRef {
+	c := make(map[ir.NodeRef]ir.NodeRef, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// buildMapped materializes the mapped graph from committed matches.
+func buildMapped(app *ir.Graph, covered []*match, matches []*match, spec *pe.Spec, name string) (*Mapped, error) {
+	m := &Mapped{Name: name, Spec: spec}
+	mappedIdx := make([]int, len(app.Nodes))
+	for i := range mappedIdx {
+		mappedIdx[i] = -1
+	}
+	// producerIdx resolves an app producer to its mapped node: compute
+	// nodes resolve to their match root's PE node.
+	producerIdx := func(a ir.NodeRef) (int, error) {
+		if app.Nodes[a].Op.IsCompute() {
+			cm := covered[a]
+			if cm == nil || cm.root != a {
+				return -1, fmt.Errorf("rewrite: producer %d is not an exposed root", a)
+			}
+			a = cm.root
+		}
+		if mappedIdx[a] < 0 {
+			return -1, fmt.Errorf("rewrite: producer %d not yet materialized", a)
+		}
+		return mappedIdx[a], nil
+	}
+
+	topo := appTopo(app)
+	for _, av := range topo {
+		n := &app.Nodes[av]
+		switch n.Op {
+		case ir.OpInput:
+			mappedIdx[av] = m.add(MNode{Kind: KindInput, Name: n.Name, Arg: -1})
+		case ir.OpInputB:
+			mappedIdx[av] = m.add(MNode{Kind: KindInputB, Name: n.Name, Arg: -1})
+		case ir.OpConst, ir.OpConstB:
+			// Constants are absorbed into PE constant registers.
+		case ir.OpMem:
+			p, err := producerIdx(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			mappedIdx[av] = m.add(MNode{Kind: KindMem, Arg: p})
+		case ir.OpReg:
+			p, err := producerIdx(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			mappedIdx[av] = m.add(MNode{Kind: KindReg, Arg: p})
+		case ir.OpRegFileFIFO:
+			p, err := producerIdx(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			mappedIdx[av] = m.add(MNode{Kind: KindRegFile, Arg: p, Depth: int(n.Val)})
+		case ir.OpRom:
+			p, err := producerIdx(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			mappedIdx[av] = m.add(MNode{Kind: KindRom, Arg: p, Val: n.Val})
+		case ir.OpOutput:
+			p, err := producerIdx(n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			mappedIdx[av] = m.add(MNode{Kind: KindOutput, Name: n.Name, Arg: p})
+		default:
+			// Compute node: materialize a PE at its match root.
+			cm := covered[av]
+			if cm == nil || cm.root != av {
+				continue // interior node, absorbed
+			}
+			pn := MNode{
+				Kind:      KindPE,
+				Rule:      cm.rule,
+				DataIn:    map[int]int{},
+				BitIn:     map[int]int{},
+				ConstVals: map[int]uint16{},
+				LUTTables: map[int]uint16{},
+				Arg:       -1,
+			}
+			for pv, anode := range cm.inputMap {
+				p, err := producerIdx(anode)
+				if err != nil {
+					return nil, err
+				}
+				if pos, ok := cm.rule.InputPorts[pv]; ok {
+					pn.DataIn[pos] = p
+				} else if pos, ok := cm.rule.BitPorts[pv]; ok {
+					pn.BitIn[pos] = p
+				} else {
+					return nil, fmt.Errorf("rewrite: pattern input %d has no PE port", pv)
+				}
+			}
+			for pv, anode := range cm.nodeMap {
+				pnode := &cm.rule.Pattern.Nodes[pv]
+				switch pnode.Op {
+				case ir.OpConst, ir.OpConstB:
+					pn.ConstVals[cm.rule.ConstRegs[pv]] = app.Nodes[anode].Val
+				case ir.OpLUT:
+					pn.LUTTables[cm.rule.LUTUnits[pv]] = app.Nodes[anode].Val
+				}
+			}
+			mappedIdx[av] = m.add(pn)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Mapped) add(n MNode) int {
+	m.Nodes = append(m.Nodes, n)
+	return len(m.Nodes) - 1
+}
+
+func appTopo(app *ir.Graph) []ir.NodeRef {
+	n := len(app.Nodes)
+	state := make([]uint8, n)
+	var order []ir.NodeRef
+	var visit func(v ir.NodeRef)
+	visit = func(v ir.NodeRef) {
+		if state[v] != 0 {
+			return
+		}
+		state[v] = 1
+		for _, a := range app.Nodes[v].Args {
+			visit(a)
+		}
+		state[v] = 2
+		order = append(order, v)
+	}
+	for v := 0; v < n; v++ {
+		visit(ir.NodeRef(v))
+	}
+	return order
+}

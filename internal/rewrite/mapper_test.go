@@ -1,0 +1,269 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/mining"
+	"repro/internal/mis"
+	"repro/internal/pe"
+)
+
+// convApp builds the Fig. 3 convolution as an application with IO.
+func convApp() *ir.Graph {
+	g := ir.NewGraph("conv")
+	var acc ir.NodeRef = -1
+	for k := 0; k < 4; k++ {
+		in := g.Input(string(rune('a' + k)))
+		w := g.Const(uint16(3 * (k + 1)))
+		m := g.OpNode(ir.OpMul, in, w)
+		if acc < 0 {
+			acc = m
+		} else {
+			acc = g.OpNode(ir.OpAdd, acc, m)
+		}
+	}
+	acc = g.OpNode(ir.OpAdd, acc, g.Const(9))
+	g.Output("out", acc)
+	return g
+}
+
+func mustRuleSet(t *testing.T, spec *pe.Spec, complex []NamedPattern, ops []ir.Op) *RuleSet {
+	t.Helper()
+	rs, err := SynthesizeRuleSet(spec, complex, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestMapConvWithBaseline(t *testing.T) {
+	app := convApp()
+	spec := baselineSpec(t, []ir.Op{ir.OpAdd, ir.OpMul})
+	rs := mustRuleSet(t, spec, nil, []ir.Op{ir.OpAdd, ir.OpMul})
+	m, err := MapApp(app, rs, "conv-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline has no multi-op rules beyond const variants: every compute
+	// node becomes one PE. conv has 4 muls + 4 adds = 8 compute nodes.
+	if m.NumPEs() != 8 {
+		t.Errorf("baseline PEs = %d, want 8 (one per op)", m.NumPEs())
+	}
+	if m.NumIO() != 5 {
+		t.Errorf("IO = %d, want 5", m.NumIO())
+	}
+}
+
+func TestMapConvWithMACPE(t *testing.T) {
+	// A PE with a mul->add (MAC with constant weight) rule should cover
+	// the convolution with fewer PEs.
+	app := convApp()
+	g := ir.NewGraph("p")
+	x := g.Input("x")
+	w := g.Const(0)
+	c := g.Input("c")
+	g.Output("o", g.OpNode(ir.OpAdd, g.OpNode(ir.OpMul, x, w), c))
+	pat, err := merge.FromPattern(g, "macc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := merge.BaselinePE([]ir.Op{ir.OpAdd, ir.OpMul})
+	spec := pe.FromDatapath("pe2", merge.Merge(base, pat, merge.Options{}))
+	rs := mustRuleSet(t, spec, []NamedPattern{{Name: "macc", Graph: g}}, []ir.Op{ir.OpAdd, ir.OpMul})
+	m, err := MapApp(app, rs, "conv-mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPEs() >= 8 {
+		t.Errorf("MAC PEs = %d, want < 8", m.NumPEs())
+	}
+	// Mapped graph must compute the same function.
+	checkEquivalence(t, app, m, 40)
+}
+
+// checkEquivalence verifies Mapped.Eval == app.Eval on random inputs.
+func checkEquivalence(t *testing.T, app *ir.Graph, m *Mapped, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		inputs := map[string]uint16{}
+		for _, in := range app.Inputs() {
+			inputs[app.Nodes[in].Name] = uint16(rng.Intn(1 << 16))
+		}
+		want, err := app.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Eval(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			if got[name] != w {
+				t.Fatalf("trial %d: output %s: mapped %d != app %d", trial, name, got[name], w)
+			}
+		}
+	}
+}
+
+func TestMapBaselineEquivalence(t *testing.T) {
+	app := convApp()
+	spec := baselineSpec(t, []ir.Op{ir.OpAdd, ir.OpMul})
+	rs := mustRuleSet(t, spec, nil, []ir.Op{ir.OpAdd, ir.OpMul})
+	m, err := MapApp(app, rs, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, app, m, 40)
+}
+
+func TestMapFailsWithoutOp(t *testing.T) {
+	app := convApp()
+	spec := baselineSpec(t, []ir.Op{ir.OpAdd}) // no mul
+	rs := mustRuleSet(t, spec, nil, []ir.Op{ir.OpAdd})
+	if _, err := MapApp(app, rs, "conv"); err == nil {
+		t.Fatal("expected mapping failure for missing mul")
+	}
+}
+
+func TestMapPreservesMemoryAndIO(t *testing.T) {
+	app := apps.Gaussian()
+	spec := baselineSpec(t, ir.BaselineALUOps())
+	rs := mustRuleSet(t, spec, nil, ir.BaselineALUOps())
+	m, err := MapApp(app.Graph, rs, "gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumMems() != app.MemNodes() {
+		t.Errorf("mems = %d, want %d", m.NumMems(), app.MemNodes())
+	}
+	if m.NumIO() != app.IONodes() {
+		t.Errorf("IO = %d, want %d", m.NumIO(), app.IONodes())
+	}
+	if m.NumPEs() != app.ComputeOps() {
+		t.Errorf("baseline PEs = %d, want %d (one per compute op)", m.NumPEs(), app.ComputeOps())
+	}
+}
+
+func TestMapAllAppsWithBaselineEquivalence(t *testing.T) {
+	spec := baselineSpec(t, ir.BaselineALUOps())
+	rs := mustRuleSet(t, spec, nil, ir.BaselineALUOps())
+	for _, a := range apps.All() {
+		m, err := MapApp(a.Graph, rs, a.Name)
+		if err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+			continue
+		}
+		checkEquivalence(t, a.Graph, m, 5)
+	}
+}
+
+// TestEndToEndCameraSpecialization is the core APEX integration test:
+// mine the camera pipeline, rank by MIS, merge the best subgraphs into
+// the app-restricted baseline (the paper's PE 2), synthesize the compiler,
+// map the application, and verify functional equivalence plus a PE-count
+// reduction.
+func TestEndToEndCameraSpecialization(t *testing.T) {
+	app := apps.Camera()
+	view, _ := mining.ComputeView(app.Graph)
+	pats := mining.Mine(view, mining.Options{MinSupport: 8, MaxNodes: 4})
+	if len(pats) == 0 {
+		t.Fatal("no patterns mined from camera")
+	}
+	ranked := mis.Rank(pats)
+
+	ops := append(app.UsedOps(), ir.OpLUT, ir.OpSel)
+	base := merge.BaselinePE(ops)
+	baseSpec := pe.FromDatapath("pe1", base)
+	baseRules := mustRuleSet(t, baseSpec, nil, ops)
+	m1, err := MapApp(app.Graph, baseRules, "camera-pe1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PE 2: merge the top-MIS subgraph into PE 1.
+	np, err := PatternFromMined(ranked[0].Pattern.Graph, "best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patDP, err := merge.FromPattern(np.Graph, "best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := merge.Merge(base, patDP, merge.Options{})
+	spec2 := pe.FromDatapath("pe2", merged)
+	rules2, err := SynthesizeRuleSet(spec2, []NamedPattern{np}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasComplex := false
+	for _, r := range rules2.Rules {
+		if r.Size >= 2 {
+			hasComplex = true
+		}
+	}
+	if !hasComplex {
+		t.Fatal("PE2 rule set has no complex rule")
+	}
+	for _, failed := range rules2.Failed {
+		if failed == "best" {
+			t.Fatal("PE2 cannot implement its own source pattern")
+		}
+	}
+	m2, err := MapApp(app.Graph, rules2, "camera-pe2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumPEs() >= m1.NumPEs() {
+		t.Errorf("PE2 mapping used %d PEs, not fewer than PE1's %d", m2.NumPEs(), m1.NumPEs())
+	}
+	t.Logf("camera: PE1 %d PEs -> PE2 %d PEs (top pattern MIS=%d, size=%d)",
+		m1.NumPEs(), m2.NumPEs(), ranked[0].MISSize, ranked[0].Pattern.ComputeSize())
+	checkEquivalence(t, app.Graph, m2, 10)
+}
+
+func TestMappedValidateAndTopo(t *testing.T) {
+	app := convApp()
+	spec := baselineSpec(t, []ir.Op{ir.OpAdd, ir.OpMul})
+	rs := mustRuleSet(t, spec, nil, []ir.Op{ir.OpAdd, ir.OpMul})
+	m, err := MapApp(app, rs, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := m.TopoOrder()
+	pos := make(map[int]int)
+	for i, v := range topo {
+		pos[v] = i
+	}
+	for i := range m.Nodes {
+		for _, p := range m.Nodes[i].Producers() {
+			if pos[p] >= pos[i] {
+				t.Fatalf("topo violation: %d before %d", p, i)
+			}
+		}
+	}
+}
+
+func BenchmarkMapCameraBaseline(b *testing.B) {
+	app := apps.Camera()
+	dp := merge.BaselinePE(ir.BaselineALUOps())
+	spec := pe.FromDatapath("base", dp)
+	rs, err := SynthesizeRuleSet(spec, nil, ir.BaselineALUOps())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MapApp(app.Graph, rs, "camera"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

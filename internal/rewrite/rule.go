@@ -1,0 +1,455 @@
+// Package rewrite implements compiler generation for APEX PEs: rewrite
+// rule synthesis (paper Section 4.1.1) and instruction selection (Section
+// 4.1.2).
+//
+// The paper synthesizes rules with an SMT query (does a configuration x
+// exist such that for all inputs y, PE(x, y) = Op(y)?) solved by
+// Boolector. This reproduction decides the same question by structural
+// search over the finite configuration space — match the operation pattern
+// onto the datapath respecting unit classes, ports, and wires — and then
+// *proves* the found configuration correct on the PE's formal model:
+// the canonical symbolic expression of the configured datapath must equal
+// the pattern's, and randomized simulation cross-checks the functional
+// model. Both sides of the paper's flow (existence search + semantic
+// proof) are preserved; only the proof engine differs.
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+)
+
+// Rule is a synthesized rewrite rule: how to configure the PE to execute
+// one operation pattern.
+type Rule struct {
+	Name    string
+	Spec    *pe.Spec
+	Pattern *ir.Graph
+	Root    ir.NodeRef
+	// Config holds port/op/output selections. Constant unit values are
+	// bound per application site (pattern constants are parameters).
+	Config pe.Config
+	// InputPorts maps pattern input nodes to PE data-input positions;
+	// BitPorts maps pattern 1-bit inputs to PE bit-input positions.
+	InputPorts map[ir.NodeRef]int
+	BitPorts   map[ir.NodeRef]int
+	// ConstRegs maps pattern constant nodes to constant unit indices.
+	ConstRegs map[ir.NodeRef]int
+	// LUTUnits maps pattern LUT nodes to their functional units; the LUT
+	// truth table is a per-site parameter like constant values.
+	LUTUnits map[ir.NodeRef]int
+	// OutUnit is the PE output unit carrying the result.
+	OutUnit int
+	// Ops lists the operations the rule exercises (for energy roll-ups).
+	Ops []ir.Op
+	// Size is the number of compute nodes covered (mapping priority).
+	Size int
+}
+
+// String renders a compact description.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule %s (size %d, %d inputs)", r.Name, r.Size, len(r.InputPorts))
+}
+
+// patternRoot finds the single result node of a pattern graph: the node
+// feeding its first output.
+func patternRoot(g *ir.Graph) (ir.NodeRef, error) {
+	outs := g.Outputs()
+	if len(outs) == 0 {
+		return -1, fmt.Errorf("rewrite: pattern has no output")
+	}
+	if len(outs) > 1 {
+		return -1, fmt.Errorf("rewrite: pattern has %d outputs; rules are single-output", len(outs))
+	}
+	return g.Nodes[outs[0]].Args[0], nil
+}
+
+// SynthesizeRule searches the PE configuration space for an implementation
+// of the pattern; it returns nil (no error) when the PE cannot implement
+// the pattern. The search is complete over the structural configuration
+// space: it backtracks through every consistent assignment of pattern
+// nodes to units and operands to wires (continuation-passing, so interior
+// choices are revisited when later constraints fail), and the final
+// verification runs inside the search — a configuration that matches
+// structurally but fails the formal check sends the search onward.
+func SynthesizeRule(spec *pe.Spec, pattern *ir.Graph, name string) (*Rule, error) {
+	root, err := patternRoot(pattern)
+	if err != nil {
+		return nil, err
+	}
+	st := &synthState{
+		spec:      spec,
+		pat:       pattern,
+		mapFU:     map[ir.NodeRef]int{},
+		usedFU:    map[int]bool{},
+		mapConst:  map[ir.NodeRef]int{},
+		usedConst: map[int]bool{},
+		mapIn:     map[ir.NodeRef]int{},
+		usedIn:    map[int]bool{},
+		portSel:   map[[2]int]int{},
+	}
+	var found *Rule
+	// The root must reach some output unit.
+	for _, out := range spec.Outputs {
+		for _, drv := range spec.PortSources(out, 0) {
+			out, drv := out, drv
+			ok := st.bind(root, drv, func() bool {
+				rule, ok := st.finish(name, root, out, drv)
+				if ok {
+					found = rule
+				}
+				return ok
+			})
+			if ok {
+				return found, nil
+			}
+			if st.steps > maxSynthSteps {
+				return nil, nil // budget exhausted; treat as not implementable
+			}
+		}
+	}
+	return nil, nil
+}
+
+// maxSynthSteps bounds the structural search (generous: realistic
+// patterns finish in far fewer steps).
+const maxSynthSteps = 2_000_000
+
+type synthState struct {
+	spec      *pe.Spec
+	pat       *ir.Graph
+	mapFU     map[ir.NodeRef]int
+	usedFU    map[int]bool
+	mapConst  map[ir.NodeRef]int
+	usedConst map[int]bool
+	mapIn     map[ir.NodeRef]int // pattern input node -> unit index
+	usedIn    map[int]bool
+	portSel   map[[2]int]int
+	steps     int
+}
+
+// bind tries to map pattern node v onto datapath unit u and then invokes
+// cont; it explores every consistent way to bind v's operand subtree,
+// calling cont for each, and undoes all bindings before returning false.
+func (s *synthState) bind(v ir.NodeRef, u int, cont func() bool) bool {
+	s.steps++
+	if s.steps > maxSynthSteps {
+		return false
+	}
+	n := &s.pat.Nodes[v]
+	unit := &s.spec.DP.Units[u]
+
+	bindLeaf := func(m map[ir.NodeRef]int, used map[int]bool) bool {
+		if prev, ok := m[v]; ok {
+			if prev != u {
+				return false
+			}
+			return cont()
+		}
+		if used[u] {
+			return false
+		}
+		m[v] = u
+		used[u] = true
+		if cont() {
+			return true
+		}
+		delete(m, v)
+		delete(used, u)
+		return false
+	}
+
+	switch n.Op {
+	case ir.OpConst:
+		if unit.Kind != merge.UnitConst || unit.Bit {
+			return false
+		}
+		return bindLeaf(s.mapConst, s.usedConst)
+	case ir.OpConstB:
+		if unit.Kind != merge.UnitConst || !unit.Bit {
+			return false
+		}
+		return bindLeaf(s.mapConst, s.usedConst)
+	case ir.OpInput:
+		if unit.Kind != merge.UnitInput {
+			return false
+		}
+		return bindLeaf(s.mapIn, s.usedIn)
+	case ir.OpInputB:
+		if unit.Kind != merge.UnitInputB {
+			return false
+		}
+		return bindLeaf(s.mapIn, s.usedIn)
+	}
+	if !n.Op.IsCompute() {
+		return false
+	}
+	if unit.Kind != merge.UnitOp || !unit.SupportsOp(n.Op) {
+		return false
+	}
+	if prev, ok := s.mapFU[v]; ok {
+		if prev != u {
+			return false
+		}
+		return cont()
+	}
+	if s.usedFU[u] {
+		return false
+	}
+	s.mapFU[v] = u
+	s.usedFU[u] = true
+
+	// Operand orders to try: identity, plus the swap for commutative
+	// 2-operand ops.
+	orders := [][]int{identityOrder(len(n.Args))}
+	if n.Op.Commutative() && len(n.Args) == 2 {
+		orders = append(orders, []int{1, 0})
+	}
+	for _, ord := range orders {
+		if s.bindArgs(v, u, ord, 0, cont) {
+			return true
+		}
+	}
+	delete(s.mapFU, v)
+	delete(s.usedFU, u)
+	return false
+}
+
+// bindArgs assigns v's operands (in permutation ord) starting at position
+// p to wires feeding unit u, invoking cont when all are bound.
+func (s *synthState) bindArgs(v ir.NodeRef, u int, ord []int, p int, cont func() bool) bool {
+	n := &s.pat.Nodes[v]
+	if p == len(n.Args) {
+		return cont()
+	}
+	child := n.Args[ord[p]]
+	key := [2]int{u, p}
+	for _, src := range s.spec.PortSources(u, p) {
+		if prev, had := s.portSel[key]; had && prev != src {
+			continue
+		}
+		_, had := s.portSel[key]
+		s.portSel[key] = src
+		ok := s.bind(child, src, func() bool {
+			return s.bindArgs(v, u, ord, p+1, cont)
+		})
+		if ok {
+			return true
+		}
+		if !had {
+			delete(s.portSel, key)
+		}
+	}
+	return false
+}
+
+func copyRefRefIntMap(m map[ir.NodeRef]int) map[ir.NodeRef]int {
+	c := make(map[ir.NodeRef]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func identityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// finish assembles and verifies the rule after a successful bind.
+func (s *synthState) finish(name string, root ir.NodeRef, out, drv int) (*Rule, bool) {
+	cfg := pe.NewConfig()
+	for k, v := range s.portSel {
+		cfg.PortSel[k] = v
+	}
+	var ops []ir.Op
+	for v, u := range s.mapFU {
+		op := s.pat.Nodes[v].Op
+		cfg.OpSel[u] = op
+		ops = append(ops, op)
+		if op == ir.OpLUT {
+			cfg.ConstVals[u] = s.pat.Nodes[v].Val
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	cfg.OutSel[out] = drv
+
+	rule := &Rule{
+		Name:       name,
+		Spec:       s.spec,
+		Pattern:    s.pat,
+		Root:       root,
+		Config:     cfg,
+		InputPorts: map[ir.NodeRef]int{},
+		BitPorts:   map[ir.NodeRef]int{},
+		ConstRegs:  copyRefRefIntMap(s.mapConst),
+		LUTUnits:   map[ir.NodeRef]int{},
+		OutUnit:    out,
+		Ops:        ops,
+		Size:       len(s.mapFU),
+	}
+	for v, u := range s.mapFU {
+		if s.pat.Nodes[v].Op == ir.OpLUT {
+			rule.LUTUnits[v] = u
+		}
+	}
+	for v, u := range s.mapIn {
+		if s.pat.Nodes[v].Op == ir.OpInput {
+			rule.InputPorts[v] = indexOf(s.spec.Inputs, u)
+		} else {
+			rule.BitPorts[v] = indexOf(s.spec.InputsB, u)
+		}
+	}
+	if err := verifyRule(rule); err != nil {
+		if os.Getenv("APEX_DEBUG_RULES") != "" {
+			fmt.Printf("rewrite: rule %s rejected: %v\n", name, err)
+		}
+		return nil, false
+	}
+	return rule, true
+}
+
+// verifyRule proves the configuration implements the pattern: canonical
+// symbolic equality on the formal model, then randomized simulation on
+// the functional model.
+func verifyRule(r *Rule) error {
+	// Build the pattern's expression with the rule's naming: pattern
+	// inputs become in<pos>/inb<pos>, pattern constants become c<unit>.
+	rename := map[string]string{}
+	for v, pos := range r.InputPorts {
+		rename[r.Pattern.Nodes[v].Name] = fmt.Sprintf("in%d", pos)
+	}
+	for v, pos := range r.BitPorts {
+		rename[r.Pattern.Nodes[v].Name] = fmt.Sprintf("inb%d", pos)
+	}
+	patExpr, err := patternExpr(r.Pattern, r.Root, rename, r.ConstRegs)
+	if err != nil {
+		return err
+	}
+	peExprs, err := r.Spec.SymbolicEval(r.Config, false)
+	if err != nil {
+		return err
+	}
+	peExpr := peExprs[r.OutUnit]
+	if peExpr == nil {
+		return fmt.Errorf("rewrite: configured PE produced no output expression")
+	}
+	if peExpr.Key() != patExpr.Key() {
+		return fmt.Errorf("rewrite: formal mismatch: PE %s vs pattern %s", peExpr, patExpr)
+	}
+	// Randomized cross-check of the functional model.
+	rng := rand.New(rand.NewSource(0xA9E5))
+	for trial := 0; trial < 32; trial++ {
+		inputs := map[string]uint16{}
+		inVals := map[int]uint16{}
+		bitVals := map[int]uint16{}
+		cfg := r.Config.Clone()
+		for v, pos := range r.InputPorts {
+			x := uint16(rng.Intn(1 << 16))
+			inputs[r.Pattern.Nodes[v].Name] = x
+			inVals[pos] = x
+		}
+		for v, pos := range r.BitPorts {
+			x := uint16(rng.Intn(2))
+			inputs[r.Pattern.Nodes[v].Name] = x
+			bitVals[pos] = x
+		}
+		patG := r.Pattern.Clone()
+		for v, cu := range r.ConstRegs {
+			x := uint16(rng.Intn(1 << 16))
+			if patG.Nodes[v].Op == ir.OpConstB {
+				x &= 1
+			}
+			patG.Nodes[v].Val = x
+			cfg.ConstVals[cu] = x
+		}
+		// Keep LUT immediates from the rule config.
+		for u, val := range r.Config.ConstVals {
+			cfg.ConstVals[u] = val
+		}
+		want, err := evalAt(patG, r.Root, inputs)
+		if err != nil {
+			return err
+		}
+		got, err := r.Spec.Evaluate(cfg, inVals, bitVals)
+		if err != nil {
+			return err
+		}
+		if got[r.OutUnit] != want {
+			return fmt.Errorf("rewrite: simulation mismatch: PE %d vs pattern %d", got[r.OutUnit], want)
+		}
+	}
+	return nil
+}
+
+// Clone is needed on ir.Graph for verifyRule's constant randomization.
+
+// patternExpr computes the canonical expression of the pattern rooted at
+// root with inputs renamed and constants symbolic per their const unit.
+func patternExpr(g *ir.Graph, root ir.NodeRef, rename map[string]string, constRegs map[ir.NodeRef]int) (*ir.Expr, error) {
+	memo := map[ir.NodeRef]*ir.Expr{}
+	var eval func(v ir.NodeRef) (*ir.Expr, error)
+	eval = func(v ir.NodeRef) (*ir.Expr, error) {
+		if e, ok := memo[v]; ok {
+			return e, nil
+		}
+		n := &g.Nodes[v]
+		var e *ir.Expr
+		switch n.Op {
+		case ir.OpInput, ir.OpInputB:
+			name := n.Name
+			if rn, ok := rename[name]; ok {
+				name = rn
+			}
+			e = ir.Var(name)
+		case ir.OpConst, ir.OpConstB:
+			if cu, ok := constRegs[v]; ok {
+				e = ir.Var(fmt.Sprintf("c%d", cu))
+			} else {
+				e = ir.ConstExpr(n.Val)
+			}
+		default:
+			args := make([]*ir.Expr, len(n.Args))
+			for i, a := range n.Args {
+				ae, err := eval(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = ae
+			}
+			e = ir.Apply(n.Op, n.Val, args...)
+		}
+		memo[v] = e
+		return e, nil
+	}
+	return eval(root)
+}
+
+// evalAt evaluates the value of a single node in a graph.
+func evalAt(g *ir.Graph, node ir.NodeRef, inputs map[string]uint16) (uint16, error) {
+	tmp := g.Clone()
+	tmp.Output("__rule_probe", node)
+	outs, err := tmp.Eval(inputs)
+	if err != nil {
+		return 0, err
+	}
+	return outs["__rule_probe"], nil
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,172 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+)
+
+func baselineSpec() *pe.Spec {
+	return pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+}
+
+func macSpec(t *testing.T) *pe.Spec {
+	t.Helper()
+	g := ir.NewGraph("mac")
+	a := g.Input("a")
+	b := g.Input("b")
+	c := g.Input("c")
+	g.Output("o", g.OpNode(ir.OpAdd, g.OpNode(ir.OpMul, a, b), c))
+	pat, err := merge.FromPattern(g, "mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := merge.BaselinePE([]ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul})
+	return pe.FromDatapath("pe2", merge.Merge(base, pat, merge.Options{}))
+}
+
+func TestEmitPEBaselineLints(t *testing.T) {
+	src := EmitPE("baseline_pe", baselineSpec(), nil)
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	for _, want := range []string{"module baseline_pe", "endmodule", "input  wire        clk", "out0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEmitPEHasAllInputs(t *testing.T) {
+	s := macSpec(t)
+	src := EmitPE("pe2", s, nil)
+	if err := Lint(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.NumDataInputs(); i++ {
+		if !strings.Contains(src, "in"+string(rune('0'+i))) {
+			t.Errorf("missing data input %d", i)
+		}
+	}
+}
+
+func TestEmitPEOpCoverage(t *testing.T) {
+	// Every baseline op must appear in the emitted datapath text in some
+	// recognizable form (operator or comparison).
+	src := EmitPE("p", baselineSpec(), nil)
+	for _, frag := range []string{" + ", " - ", " * ", " << ", " >> ", ">>>", " & ", " | ", " ^ ", "~", "_lut["} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("operator fragment %q missing", frag)
+		}
+	}
+}
+
+func TestEmitPEPipelinedAddsRegisters(t *testing.T) {
+	m := tech.Default()
+	// Deep PE that needs pipelining.
+	g := ir.NewGraph("deep")
+	x := g.Input("x")
+	acc := x
+	for i := 0; i < 4; i++ {
+		acc = g.OpNode(ir.OpMul, acc, g.Input(string(rune('a'+i))))
+	}
+	g.Output("o", acc)
+	dp, _ := merge.FromPattern(g, "deep")
+	spec := pe.FromDatapath("deep", dp)
+	pp := pipeline.PipelinePE(spec, m, pipeline.Options{})
+	if pp.Stages == 0 {
+		t.Fatal("expected stages")
+	}
+	src := EmitPE("deep_pe", spec, pp)
+	if err := Lint(src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "always @(posedge clk)") {
+		t.Error("pipelined PE has no registers")
+	}
+	comb := EmitPE("deep_pe", spec, nil)
+	if strings.Count(src, "always @(posedge clk)") <= strings.Count(comb, "always @(posedge clk)") {
+		t.Error("pipelined emission did not add registers")
+	}
+}
+
+func TestEmitPEDeterministic(t *testing.T) {
+	s := macSpec(t)
+	if EmitPE("p", s, nil) != EmitPE("p", s, nil) {
+		t.Fatal("nondeterministic emission")
+	}
+}
+
+func TestEmitCGRATop(t *testing.T) {
+	src := EmitCGRATop("cgra_top", 32, 16, 4, 5, "apex_pe")
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, want := range []string{"localparam W = 32, H = 16", "generate", "mem_tile", "apex_pe_tile", "endgenerate"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLintCatchesBrokenText(t *testing.T) {
+	if Lint("module x (\n") == nil {
+		t.Error("unbalanced module accepted")
+	}
+	if Lint("module x (a);\nendmodule\nmodule y ();\nendmodule") == nil {
+		t.Error("empty port list accepted")
+	}
+	if Lint("module x ((a);\nendmodule") == nil {
+		t.Error("unbalanced parens accepted")
+	}
+}
+
+func TestDeclaredIdentifiers(t *testing.T) {
+	src := EmitPE("p", baselineSpec(), nil)
+	ids := DeclaredIdentifiers(src)
+	if len(ids) == 0 {
+		t.Fatal("no declared identifiers found")
+	}
+	// Every declared unit wire should be referenced at least twice
+	// (declaration + use) except dangling outputs.
+	for _, id := range ids {
+		if strings.Count(src, id) < 1 {
+			t.Errorf("identifier %s unused", id)
+		}
+	}
+}
+
+func TestConfigBitsMatchEmission(t *testing.T) {
+	// The emitted cfg references must stay within the declared bus.
+	s := baselineSpec()
+	src := EmitPE("p", s, nil)
+	// The declared width is ConfigBits-1.
+	want := "input  wire [" + itoa(s.ConfigBits()-1) + ":0] cfg"
+	if !strings.Contains(src, want) {
+		t.Errorf("cfg bus declaration mismatch: want %q", want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(digits)
+	}
+	return string(digits)
+}

@@ -1,0 +1,76 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/merge"
+	"repro/internal/pe"
+)
+
+func TestEmitPETileLints(t *testing.T) {
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	src := EmitPETile("apex_pe", spec, 5)
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"module apex_pe_tile", "apex_pe core", "Connection boxes",
+		"Switch box", "Register file", "tile_active", "endmodule",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Every PE data input must be wired from a connection box.
+	for i := 0; i < spec.NumDataInputs(); i++ {
+		if !strings.Contains(src, "cb_in"+itoa(i)) {
+			t.Errorf("input %d not wired through a CB", i)
+		}
+	}
+}
+
+func TestEmitMemTileLints(t *testing.T) {
+	src := EmitMemTile(5)
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, want := range []string{"module mem_tile", "bank0", "bank1", "wptr", "endmodule"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFullHierarchyLints(t *testing.T) {
+	// PE core + PE tile + mem tile + top must concatenate into one
+	// lint-clean source file with balanced structure.
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	full := strings.Join([]string{
+		EmitPE("apex_pe", spec, nil),
+		EmitPETile("apex_pe", spec, 5),
+		EmitMemTile(5),
+		EmitCGRATop("cgra_top", 32, 16, 4, 5, "apex_pe"),
+	}, "\n")
+	if err := Lint(full); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(full, "module "); n != 4 {
+		t.Errorf("modules = %d, want 4", n)
+	}
+	// The top must reference both tile modules.
+	if !strings.Contains(full, "apex_pe_tile") || !strings.Contains(full, "mem_tile") {
+		t.Error("top does not instantiate the tile modules")
+	}
+}
+
+func TestTileDeterministic(t *testing.T) {
+	spec := pe.FromDatapath("base", merge.BaselinePE(ir.BaselineALUOps()))
+	if EmitPETile("p", spec, 5) != EmitPETile("p", spec, 5) {
+		t.Error("PE tile emission nondeterministic")
+	}
+	if EmitMemTile(5) != EmitMemTile(5) {
+		t.Error("mem tile emission nondeterministic")
+	}
+}

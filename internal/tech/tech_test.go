@@ -1,0 +1,111 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestBaselineCalibration(t *testing.T) {
+	m := Default()
+	got := m.BaselinePECore().Area
+	if math.Abs(got-BaselinePEArea) > 0.01 {
+		t.Fatalf("baseline PE core area = %.2f, want %.2f", got, BaselinePEArea)
+	}
+}
+
+func TestRelativeCostsSane(t *testing.T) {
+	m := Default()
+	mul := m.Unit("mul")
+	add := m.Unit("addsub")
+	mux := m.Unit("mux16")
+	if mul.Area < 5*add.Area || mul.Area > 15*add.Area {
+		t.Errorf("mul/add area ratio %.1f outside plausible 5-15x", mul.Area/add.Area)
+	}
+	if mux.Area > add.Area/2 {
+		t.Errorf("mux area %.1f should be well under adder %.1f", mux.Area, add.Area)
+	}
+	if mul.Energy < 5*add.Energy {
+		t.Errorf("mul energy should dominate add: %.3f vs %.3f", mul.Energy, add.Energy)
+	}
+	if mul.Delay <= add.Delay {
+		t.Error("multiplier must be slower than adder")
+	}
+}
+
+func TestOpCostByClass(t *testing.T) {
+	m := Default()
+	if m.OpCost(ir.OpAdd) != m.OpCost(ir.OpSub) {
+		t.Error("add and sub must share the addsub cost")
+	}
+	if m.OpCost(ir.OpAdd) == m.OpCost(ir.OpMul) {
+		t.Error("add and mul must differ")
+	}
+	if m.OpCost(ir.OpConst).Area <= 0 {
+		t.Error("const register should have area")
+	}
+	if m.OpCost(ir.OpInput).Area != 0 {
+		t.Error("graph inputs carry no PE-core area")
+	}
+}
+
+func TestUnknownPrimitivePanics(t *testing.T) {
+	m := Default()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown primitive")
+		}
+	}()
+	m.Unit("warpcore")
+}
+
+func TestMemTileBiggerThanPE(t *testing.T) {
+	m := Default()
+	if m.MemTile().Area < 5*m.BaselinePECore().Area {
+		t.Errorf("memory tile (%.0f) should dwarf the PE core (%.0f)",
+			m.MemTile().Area, m.BaselinePECore().Area)
+	}
+}
+
+func TestConnectionBoxScalesWithInputs(t *testing.T) {
+	m := Default()
+	cb2 := m.ConnectionBox(2, 0)
+	cb3 := m.ConnectionBox(3, 0)
+	if cb3.Area <= cb2.Area {
+		t.Error("CB area must grow with input count")
+	}
+	diff := cb3.Area - cb2.Area
+	if math.Abs(diff-m.Unit("cb16").Area) > 1e-9 {
+		t.Errorf("CB area increment %.2f != unit cb16 %.2f", diff, m.Unit("cb16").Area)
+	}
+}
+
+func TestSwitchBoxNontrivial(t *testing.T) {
+	m := Default()
+	sb := m.SwitchBox()
+	if sb.Area <= 0 || sb.Energy <= 0 || sb.Delay <= 0 {
+		t.Errorf("switch box cost degenerate: %+v", sb)
+	}
+}
+
+func TestAllClassesPresent(t *testing.T) {
+	m := Default()
+	for _, op := range ir.AllComputeOps() {
+		c := m.OpCost(op)
+		if c.Area <= 0 {
+			t.Errorf("op %s has zero area", op)
+		}
+		if c.Delay <= 0 {
+			t.Errorf("op %s has zero delay", op)
+		}
+	}
+}
+
+func TestClockPeriodConsistentWithPE(t *testing.T) {
+	m := Default()
+	// A single unpipelined multiply must fit in the paper's 1.1ns clock.
+	if d := m.BaselinePECore().Delay; d >= ClockPeriodPS {
+		t.Errorf("baseline PE path %.0f ps exceeds the %.0f ps clock", d, ClockPeriodPS)
+	}
+}
