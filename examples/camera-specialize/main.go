@@ -48,7 +48,7 @@ func main() {
 	fmt.Printf("\n%-10s %6s %12s %14s %14s %10s\n",
 		"variant", "#PEs", "area/PE", "total PE area", "energy/out", "latency")
 	for _, v := range variants {
-		r, err := fw.Evaluate(app, v)
+		r, err := fw.Evaluate(app, v, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,7 +22,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	fw := core.New()
-	fw.SkipPnR = true // post-mapping level, like the paper's Fig. 13
+	// Post-mapping level, like the paper's Fig. 13.
+	opt := core.PostMapping
 
 	// Mine each analyzed image application and take its best subgraph.
 	var named []rewrite.NamedPattern
@@ -54,11 +55,11 @@ func main() {
 	fmt.Printf("%-10s %-8s %10s %10s %14s %14s\n",
 		"app", "status", "#PE base", "#PE IP", "area vs base", "energy vs base")
 	run := func(a *apps.App, status string) {
-		rb, err := fw.Evaluate(a, base)
+		rb, err := fw.Evaluate(a, base, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ri, err := fw.Evaluate(a, ip)
+		ri, err := fw.Evaluate(a, ip, opt)
 		if err != nil {
 			log.Fatalf("%s: %v", a.Name, err)
 		}

@@ -50,11 +50,11 @@ func main() {
 
 	fmt.Printf("%-10s %-10s %14s %14s\n", "app", "platform", "energy/out", "area")
 	for _, a := range apps.AnalyzedML() {
-		rb, err := fw.Evaluate(a, base)
+		rb, err := fw.Evaluate(a, base, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rm, err := fw.Evaluate(a, ml)
+		rm, err := fw.Evaluate(a, ml, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func main() {
 	// End-to-end validation: simulate the mapped, balanced ResNet layer
 	// cycle by cycle and compare the steady state with the reference.
 	resnet := apps.ResNet()
-	r, err := fw.Evaluate(resnet, ml)
+	r, err := fw.Evaluate(resnet, ml, core.FullEval)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -114,6 +114,16 @@ func (r *Routing) claim(net Net, path []Coord) {
 	}
 }
 
+// sortedKeys returns a position-indexed map's keys in ascending order.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // collectNets derives the net list from the mapped graph, ordered by
 // source so fanout trees route consecutively.
 func collectNets(m *rewrite.Mapped) []Net {
@@ -122,11 +132,14 @@ func collectNets(m *rewrite.Mapped) []Net {
 		n := &m.Nodes[i]
 		switch n.Kind {
 		case rewrite.KindPE:
-			for _, p := range n.DataIn {
-				nets = append(nets, Net{Src: p, Dst: i})
+			// Iterate input ports in sorted position order: the net
+			// list's order steers negotiated-congestion routing, so map
+			// iteration here would make routing vary run to run.
+			for _, pos := range sortedKeys(n.DataIn) {
+				nets = append(nets, Net{Src: n.DataIn[pos], Dst: i})
 			}
-			for _, p := range n.BitIn {
-				nets = append(nets, Net{Src: p, Dst: i, Bit: true})
+			for _, pos := range sortedKeys(n.BitIn) {
+				nets = append(nets, Net{Src: n.BitIn[pos], Dst: i, Bit: true})
 			}
 		default:
 			if n.Arg >= 0 {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestEvaluateConcurrentMixedOptions runs one shared Framework from many
+// goroutines with different EvalOptions interleaved and checks every
+// call returns exactly what a serial run returns. Before the refactor
+// the options lived as mutable Framework fields, so this interleaving
+// would race and cross-contaminate results; now the framework is
+// immutable after construction and options travel per call.
+func TestEvaluateConcurrentMixedOptions(t *testing.T) {
+	fw := New()
+	app := apps.Camera()
+	base, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := fw.GeneratePE("spec", app.UsedOps(), SelectPatterns(fw.Analyze(app), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []*PEVariant{base, spec}
+	options := []EvalOptions{PostMapping, {PnR: false, Pipelined: false}}
+
+	// Serial reference results.
+	type cell struct {
+		v   *PEVariant
+		opt EvalOptions
+	}
+	var cells []cell
+	want := map[int]*Result{}
+	for _, v := range variants {
+		for _, opt := range options {
+			r, err := fw.Evaluate(app, v, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[len(cells)] = r
+			cells = append(cells, cell{v, opt})
+		}
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for c := 0; c < len(cells)*2; c++ {
+				i := (g + c) % len(cells)
+				r, err := fw.Evaluate(app, cells[i].v, cells[i].opt)
+				if err != nil {
+					t.Errorf("goroutine %d cell %d: %v", g, i, err)
+					return
+				}
+				w := want[i]
+				if r.NumPEs != w.NumPEs || r.PEEnergy != w.PEEnergy || r.PeriodPS != w.PeriodPS {
+					t.Errorf("goroutine %d cell %d: got (PEs=%d energy=%v period=%v), want (PEs=%d energy=%v period=%v)",
+						g, i, r.NumPEs, r.PEEnergy, r.PeriodPS, w.NumPEs, w.PEEnergy, w.PeriodPS)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

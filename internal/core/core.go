@@ -10,7 +10,7 @@
 //	app := apps.Camera()
 //	ranked := fw.Analyze(app)
 //	variant, _ := fw.GeneratePE("camera_pe2", app.UsedOps(), ranked[:1])
-//	result, _ := fw.Evaluate(app, variant)
+//	result, _ := fw.Evaluate(app, variant, core.FullEval)
 package core
 
 import (
@@ -29,7 +29,11 @@ import (
 	"repro/internal/tech"
 )
 
-// Framework bundles the models and options shared across the flow.
+// Framework bundles the models shared across the flow. It is treated as
+// immutable after construction: no exported method mutates it, so one
+// Framework can serve any number of concurrent analyses, PE generations,
+// and evaluations. Per-call settings (place-and-route level, application
+// pipelining) travel in EvalOptions instead of Framework fields.
 type Framework struct {
 	Tech   *tech.Model
 	Fabric *cgra.Fabric
@@ -40,15 +44,6 @@ type Framework struct {
 	PlaceSeed int64
 	// PlaceMoves bounds annealing effort (0 = auto).
 	PlaceMoves int
-	// SkipPnR evaluates at the post-mapping level only (fast mode for
-	// Fig. 11/14-style results); place-and-route fields are zero.
-	SkipPnR bool
-	// AppPipelining enables application pipelining: every PE's output is
-	// registered (at least one stage) and branch delay matching balances
-	// the graph. Disabling it produces the paper's "pre-pipelining"
-	// results (Fig. 16), where combinational paths chain through
-	// consecutive PEs and routes.
-	AppPipelining bool
 }
 
 // New returns a framework with the paper's defaults: calibrated tech
@@ -59,7 +54,6 @@ func New() *Framework {
 		Fabric:          cgra.Default(),
 		MaxPatternNodes: 4,
 		PlaceSeed:       1,
-		AppPipelining:   true,
 	}
 }
 

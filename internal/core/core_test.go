@@ -40,7 +40,6 @@ func TestBaselineVariant(t *testing.T) {
 
 func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	app := apps.Camera()
 	ranked := fw.Analyze(app).Ranked
 
@@ -48,7 +47,7 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := fw.Evaluate(app, pe1)
+	r1, err := fw.Evaluate(app, pe1, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +55,7 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := fw.Evaluate(app, pe2)
+	r2, err := fw.Evaluate(app, pe2, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +91,12 @@ func TestRestrictedBaselineSmallerThanBaseline(t *testing.T) {
 
 func TestEvaluateBaselineCameraMatchesTable3(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
 	app := apps.Camera()
-	r, err := fw.Evaluate(app, base)
+	r, err := fw.Evaluate(app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +122,7 @@ func TestEvaluateFullPnRSmallApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Gaussian()
-	r, err := fw.Evaluate(app, base)
+	r, err := fw.Evaluate(app, base, FullEval)
 	if err != nil {
 		t.Fatal(err)
 	}

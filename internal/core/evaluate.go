@@ -10,6 +10,31 @@ import (
 	"repro/internal/tech"
 )
 
+// EvalOptions selects the evaluation level of one Framework.Evaluate
+// call. The options are per-call arguments rather than Framework fields
+// so that concurrent evaluations sharing one Framework cannot race on
+// (or poison) each other's settings: a Framework is immutable after
+// construction and every exported method is safe for concurrent use.
+type EvalOptions struct {
+	// PnR runs full place-and-route; false evaluates at the post-mapping
+	// level only (fast mode for Fig. 11/14-style results), leaving the
+	// place-and-route fields of the Result zero.
+	PnR bool
+	// Pipelined enables application pipelining: every PE's output is
+	// registered (at least one stage) and branch delay matching balances
+	// the graph. Disabling it produces the paper's "pre-pipelining"
+	// results (Fig. 16), where combinational paths chain through
+	// consecutive PEs and routes.
+	Pipelined bool
+}
+
+// FullEval evaluates with place-and-route and application pipelining —
+// the level the paper's headline numbers use.
+var FullEval = EvalOptions{PnR: true, Pipelined: true}
+
+// PostMapping evaluates pipelined but without place-and-route.
+var PostMapping = EvalOptions{PnR: false, Pipelined: true}
+
 // Result is the full evaluation of one application on one PE variant:
 // utilization, area, energy, and performance at the post-mapping,
 // post-place-and-route, and post-pipelining levels the paper reports.
@@ -60,14 +85,15 @@ type Result struct {
 
 // Evaluate runs the full backend for one (application, PE variant) pair:
 // instruction selection, branch-delay matching with register-file
-// substitution, placement, routing, and metric roll-ups.
-func (f *Framework) Evaluate(app *apps.App, v *PEVariant) (*Result, error) {
+// substitution, placement, routing, and metric roll-ups. It is safe to
+// call concurrently, including for the same pair with different options.
+func (f *Framework) Evaluate(app *apps.App, v *PEVariant, opt EvalOptions) (*Result, error) {
 	mapped, err := rewrite.MapApp(app.Graph, v.Rules, app.Name+"@"+v.Name)
 	if err != nil {
 		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
 	}
 	peLat := 0
-	if f.AppPipelining {
+	if opt.Pipelined {
 		peLat = v.Pipelined.Stages
 		if peLat < 1 {
 			peLat = 1 // every PE output is registered in the fabric
@@ -89,7 +115,7 @@ func (f *Framework) Evaluate(app *apps.App, v *PEVariant) (*Result, error) {
 		Balanced:   balanced,
 	}
 
-	if !f.SkipPnR {
+	if opt.PnR {
 		placed, err := cgra.Place(balanced, f.Fabric, cgra.PlaceOptions{Seed: f.PlaceSeed, Moves: f.PlaceMoves})
 		if err != nil {
 			return nil, fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
@@ -102,12 +128,12 @@ func (f *Framework) Evaluate(app *apps.App, v *PEVariant) (*Result, error) {
 		r.RoutingTiles = routing.RoutingOnlyTiles()
 	}
 
-	f.fillMetrics(app, v, r)
+	f.fillMetrics(app, v, r, opt)
 	return r, nil
 }
 
 // fillMetrics computes the area/energy/performance roll-ups.
-func (f *Framework) fillMetrics(app *apps.App, v *PEVariant, r *Result) {
+func (f *Framework) fillMetrics(app *apps.App, v *PEVariant, r *Result, opt EvalOptions) {
 	m := f.Tech
 
 	// --- Area.
@@ -170,7 +196,7 @@ func (f *Framework) fillMetrics(app *apps.App, v *PEVariant, r *Result) {
 	// --- Timing: the fabric runs at the paper's global 1.1 ns clock;
 	// the period only grows beyond it when unpipelined combinational
 	// paths (pre-pipelining mode) cannot fit.
-	r.PeriodPS = f.criticalPathPS(v, r)
+	r.PeriodPS = f.criticalPathPS(v, r, opt)
 	if r.PeriodPS < tech.ClockPeriodPS {
 		r.PeriodPS = tech.ClockPeriodPS
 	}
@@ -188,7 +214,7 @@ func (f *Framework) fillMetrics(app *apps.App, v *PEVariant, r *Result) {
 // segments. When the design is unpipelined (PE stages = 0 and no
 // balancing registers), combinational paths chain through consecutive
 // PEs and routes — the "pre-pipelining" rows of Fig. 16.
-func (f *Framework) criticalPathPS(v *PEVariant, r *Result) float64 {
+func (f *Framework) criticalPathPS(v *PEVariant, r *Result, opt EvalOptions) float64 {
 	m := f.Tech
 	sbHop := m.Unit("sb").Delay
 	cb := m.Unit("cb16").Delay
@@ -208,7 +234,7 @@ func (f *Framework) criticalPathPS(v *PEVariant, r *Result) float64 {
 		// With application pipelining on, the switch boxes' per-track
 		// pipeline registers (paper Section 4.3) break long routes, so
 		// at most a couple of hops sit between registers.
-		if f.AppPipelining && h > 2 {
+		if opt.Pipelined && h > 2 {
 			h = 2
 		}
 		return h
@@ -237,7 +263,7 @@ func (f *Framework) criticalPathPS(v *PEVariant, r *Result) float64 {
 		switch n.Kind {
 		case rewrite.KindPE:
 			own = peDelay + cb
-			registered = f.AppPipelining
+			registered = opt.Pipelined
 		case rewrite.KindMem, rewrite.KindRom:
 			own = m.Unit("memctrl").Delay
 			registered = true

@@ -9,12 +9,11 @@ import (
 
 func TestPeriodClampedToFabricClock(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fw.Evaluate(apps.Gaussian(), base)
+	r, err := fw.Evaluate(apps.Gaussian(), base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,19 +25,16 @@ func TestPeriodClampedToFabricClock(t *testing.T) {
 
 func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
 	app := apps.Unsharp() // longest combinational chains in the suite
-	fw.AppPipelining = false
-	pre, err := fw.Evaluate(app, base)
+	pre, err := fw.Evaluate(app, base, EvalOptions{Pipelined: false})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw.AppPipelining = true
-	post, err := fw.Evaluate(app, base)
+	post, err := fw.Evaluate(app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +50,12 @@ func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
 
 func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, a := range []*apps.App{apps.Camera(), apps.ResNet()} {
-		r, err := fw.Evaluate(a, base)
+		r, err := fw.Evaluate(a, base, PostMapping)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,12 +68,11 @@ func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 
 func TestAreaBreakdownSumsToTotal(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fw.Evaluate(apps.Harris(), base)
+	r, err := fw.Evaluate(apps.Harris(), base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,13 +89,11 @@ func TestPnRRefinesRoutingMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Laplacian() // small, quick to place and route
-	fw.SkipPnR = true
-	fast, err := fw.Evaluate(app, base)
+	fast, err := fw.Evaluate(app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw.SkipPnR = false
-	full, err := fw.Evaluate(app, base)
+	full, err := fw.Evaluate(app, base, FullEval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,13 +114,12 @@ func TestPnRRefinesRoutingMetrics(t *testing.T) {
 
 func TestBaselineEnergyUsesBaselineModel(t *testing.T) {
 	fw := New()
-	fw.SkipPnR = true
 	base, err := fw.BaselinePE()
 	if err != nil {
 		t.Fatal(err)
 	}
 	app := apps.Gaussian()
-	r, err := fw.Evaluate(app, base)
+	r, err := fw.Evaluate(app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 // analyze, generate a specialized PE, and evaluate it post-mapping.
 func Example() {
 	fw := core.New()
-	fw.SkipPnR = true // post-mapping level for a fast example
 
 	app := apps.Camera()
 	analysis := fw.Analyze(app)
@@ -21,7 +20,8 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	result, err := fw.Evaluate(app, variant)
+	// Post-mapping level for a fast example.
+	result, err := fw.Evaluate(app, variant, core.PostMapping)
 	if err != nil {
 		panic(err)
 	}

@@ -22,9 +22,35 @@ func (h *Harness) Ablations() (*Table, error) {
 	}
 	app := apps.Camera()
 
-	// 1. MIS-guided vs frequency-guided subgraph ranking.
-	an := h.Analysis(app)
-	vMIS, err := h.FW.GeneratePE("abl_mis", app.UsedOps(), core.SelectPatterns(an, 1))
+	// 1. MIS-guided vs frequency-guided subgraph ranking. Both variants
+	// resolve through the singleflight variant cache so the prefetch
+	// below and the serial assembly share one build each.
+	misVariant := func() (*core.PEVariant, error) {
+		return h.Variant("abl_mis", func() (*core.PEVariant, error) {
+			return h.FW.GeneratePE("abl_mis", app.UsedOps(), core.SelectPatterns(h.Analysis(app), 1))
+		})
+	}
+	freqVariant := func() (*core.PEVariant, error) {
+		return h.Variant("abl_freq", func() (*core.PEVariant, error) {
+			byFreq := mis.RankByFrequency(h.freqPatterns(app))
+			pick := 0
+			for pick < len(byFreq) {
+				if _, err := rewrite.PatternFromMined(byFreq[pick].Pattern.Graph, "probe"); err == nil {
+					break
+				}
+				pick++
+			}
+			return h.FW.GeneratePE("abl_freq", app.UsedOps(), byFreq[pick:pick+1])
+		})
+	}
+	if err := h.prefetch([]evalCell{
+		{app, misVariant, false, true},
+		{app, freqVariant, false, true},
+		{apps.ResNet(), h.Baseline, false, true},
+	}); err != nil {
+		return nil, err
+	}
+	vMIS, err := misVariant()
 	if err != nil {
 		return nil, err
 	}
@@ -32,15 +58,7 @@ func (h *Harness) Ablations() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	byFreq := mis.RankByFrequency(h.freqPatterns(app))
-	pick := 0
-	for pick < len(byFreq) {
-		if _, err := rewrite.PatternFromMined(byFreq[pick].Pattern.Graph, "probe"); err == nil {
-			break
-		}
-		pick++
-	}
-	vFreq, err := h.FW.GeneratePE("abl_freq", app.UsedOps(), byFreq[pick:pick+1])
+	vFreq, err := freqVariant()
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +71,8 @@ func (h *Harness) Ablations() (*Table, error) {
 		[]string{"subgraph ranking", "raw occurrence frequency", fmt.Sprintf("camera maps to %d PEs", rFreq.NumPEs)},
 	)
 
-	// 2. FIFO cutoff sweep on ResNet.
+	// 2. FIFO cutoff sweep on ResNet: the sweep points are independent,
+	// so they run on the worker pool into fixed slots.
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, err
@@ -62,11 +81,23 @@ func (h *Harness) Ablations() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, cutoff := range []int{1, 2, 4, 8} {
-		_, rep := pipeline.BalanceApp(rb.Mapped, pipeline.AppOptions{PELatency: 2, FIFOCutoff: cutoff})
+	cutoffs := []int{1, 2, 4, 8}
+	reports := make([]pipeline.BalanceReport, len(cutoffs))
+	jobs := make([]func() error, len(cutoffs))
+	for i, cutoff := range cutoffs {
+		i, cutoff := i, cutoff
+		jobs[i] = func() error {
+			_, reports[i] = pipeline.BalanceApp(rb.Mapped, pipeline.AppOptions{PELatency: 2, FIFOCutoff: cutoff})
+			return nil
+		}
+	}
+	if err := h.parallel(jobs); err != nil {
+		return nil, err
+	}
+	for i, cutoff := range cutoffs {
 		t.Rows = append(t.Rows, []string{
 			"RF FIFO cutoff", fmt.Sprintf("chains > %d become FIFOs", cutoff),
-			fmt.Sprintf("%d regs + %d FIFOs", rep.RegsInserted, rep.FIFOsInserted),
+			fmt.Sprintf("%d regs + %d FIFOs", reports[i].RegsInserted, reports[i].FIFOsInserted),
 		})
 	}
 	return t, nil

@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// TestMemoTableExactlyOnce races 32 goroutines over overlapping keys and
+// proves every build function ran exactly once and every caller of a key
+// observed the same value.
+func TestMemoTableExactlyOnce(t *testing.T) {
+	const (
+		goroutines = 32
+		keys       = 5
+		callsEach  = 50
+	)
+	table := newMemoTable[int]()
+	builds := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	got := make([][]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for c := 0; c < callsEach; c++ {
+				k := (g + c) % keys
+				v, err := table.do(fmt.Sprintf("key%d", k), func() (int, error) {
+					builds[k].Add(1)
+					return 1000 + k, nil
+				})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				got[g] = append(got[g], v-1000-k) // 0 iff the expected value
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key%d built %d times, want exactly 1", k, n)
+		}
+	}
+	for g, vals := range got {
+		for _, v := range vals {
+			if v != 0 {
+				t.Fatalf("goroutine %d observed a wrong value", g)
+			}
+		}
+	}
+}
+
+// TestMemoTableCachesErrors verifies a failing build is also
+// exactly-once: later callers get the same error without re-running it.
+func TestMemoTableCachesErrors(t *testing.T) {
+	table := newMemoTable[int]()
+	sentinel := errors.New("boom")
+	var builds atomic.Int64
+	build := func() (int, error) {
+		builds.Add(1)
+		return 0, sentinel
+	}
+	if _, err := table.do("k", build); !errors.Is(err, sentinel) {
+		t.Fatalf("first call err = %v", err)
+	}
+	if _, err := table.do("k", build); !errors.Is(err, sentinel) {
+		t.Fatalf("second call err = %v", err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("failing build ran %d times, want 1", n)
+	}
+}
+
+// TestHarnessHammer pounds one harness from 32 goroutines with
+// overlapping Analysis/Variant/Evaluate keys. Atomic counters inside the
+// variant builders prove exactly-once construction, and a sync.Map of
+// first-seen pointers proves every caller got the identical *object*,
+// not merely an equal one.
+func TestHarnessHammer(t *testing.T) {
+	h := fastHarness()
+	members := []*apps.App{apps.Camera(), apps.Harris(), apps.Gaussian()}
+	var variantBuilds [3]atomic.Int64
+	var firstSeen sync.Map // kind|key -> pointer first observed
+
+	check := func(t *testing.T, kind, key string, ptr any) {
+		prev, loaded := firstSeen.LoadOrStore(kind+"|"+key, ptr)
+		if loaded && prev != ptr {
+			t.Errorf("%s %s: two distinct pointers %p / %p", kind, key, prev, ptr)
+		}
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for c := 0; c < 6; c++ {
+				app := members[(g+c)%len(members)]
+				an := h.Analysis(app)
+				check(t, "analysis", app.Name, an)
+
+				vi := (g + c) % len(members)
+				vApp := members[vi]
+				v, err := h.Variant("hammer_"+vApp.Name, func() (*core.PEVariant, error) {
+					variantBuilds[vi].Add(1)
+					chosen := core.SelectPatterns(h.Analysis(vApp), 1)
+					return h.FW.GeneratePE("hammer_"+vApp.Name, vApp.UsedOps(), chosen)
+				})
+				if err != nil {
+					t.Errorf("variant %s: %v", vApp.Name, err)
+					return
+				}
+				check(t, "variant", vApp.Name, v)
+
+				r, err := h.Evaluate(vApp, v, false, true)
+				if err != nil {
+					t.Errorf("evaluate %s: %v", vApp.Name, err)
+					return
+				}
+				check(t, "result", vApp.Name, r)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, m := range members {
+		if n := variantBuilds[i].Load(); n != 1 {
+			t.Errorf("variant for %s built %d times, want exactly 1", m.Name, n)
+		}
+	}
+}
+
+// TestFailedEvaluationDoesNotPoisonLaterResults is the regression test
+// for the old mutable-flag hazard: Framework flags used to be mutated
+// for the duration of an Evaluate call and restored afterwards, so an
+// evaluation that errored out mid-flight could leave the framework in a
+// different mode and silently change every subsequent result. With
+// explicit EvalOptions there is no state to restore: a failing
+// evaluation must leave the harness producing byte-identical tables.
+func TestFailedEvaluationDoesNotPoisonLaterResults(t *testing.T) {
+	h := fastHarness()
+
+	// A PE that lacks Mul cannot map an app that multiplies.
+	nomul, err := h.FW.GeneratePE("nomul", []ir.Op{ir.OpAdd}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ir.NewGraph("needs_mul")
+	g.Output("o", g.OpNode(ir.OpMul, g.Input("a"), g.Input("b")))
+	bad := &apps.App{Name: "needs_mul", Graph: g, Unroll: 1, TotalOutputs: 1}
+	if _, err := h.Evaluate(bad, nomul, true, true); err == nil {
+		t.Fatal("expected the unmappable evaluation to fail")
+	}
+
+	after, _, err := h.CameraLadder(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := fastHarness().CameraLadder(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Markdown() != fresh.Markdown() {
+		t.Errorf("results changed after a failed evaluation:\nafter failure:\n%s\nfresh harness:\n%s",
+			after.Markdown(), fresh.Markdown())
+	}
+}
+
+// TestSuiteDeterministicAcrossWorkers runs the full fast suite serially
+// and with 8 workers and requires byte-identical Markdown for every
+// table: worker count and completion order must never leak into output.
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	serial := fastHarness()
+	serial.Workers = 1
+	st, err := serial.Suite(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := fastHarness()
+	par.Workers = 8
+	pt, err := par.Suite(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != len(pt) {
+		t.Fatalf("table count: serial %d, parallel %d", len(st), len(pt))
+	}
+	for i := range st {
+		if s, p := st[i].Markdown(), pt[i].Markdown(); s != p {
+			t.Errorf("%s differs between workers=1 and workers=8:\nserial:\n%s\nparallel:\n%s",
+				st[i].ID, s, p)
+		}
+	}
+}

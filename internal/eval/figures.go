@@ -151,6 +151,16 @@ type LadderResult struct {
 // (required for faithful Table 2 performance).
 func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
 	app := apps.Camera()
+	cells := []evalCell{{app, h.Baseline, pnr, true}}
+	for k := 1; k <= 4; k++ {
+		k := k
+		cells = append(cells, evalCell{app, func() (*core.PEVariant, error) {
+			return h.LadderPE(app, k)
+		}, pnr, true})
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, nil, err
+	}
 	var variants []*core.PEVariant
 	base, err := h.Baseline()
 	if err != nil {
@@ -211,6 +221,18 @@ func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
 // Fig12 compares PE IP, PE IP2, and PE IP3 across the analyzed image
 // apps: merging too many subgraphs (IP2) or merging unevenly (IP3) hurts.
 func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
+	var cells []evalCell
+	for _, a := range apps.AnalyzedIP() {
+		cells = append(cells,
+			evalCell{a, h.Baseline, false, true},
+			evalCell{a, h.PEIP, false, true},
+			evalCell{a, h.PEIP2, false, true},
+			evalCell{a, h.PEIP3, false, true},
+		)
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, nil, err
+	}
 	ip, err := h.PEIP()
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +285,16 @@ func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
 // the baseline and on PE IP: the domain PE must still win (the paper:
 // 12-25% area, 66-78% energy reduction).
 func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
+	var cells []evalCell
+	for _, a := range apps.UnseenIP() {
+		cells = append(cells,
+			evalCell{a, h.Baseline, false, true},
+			evalCell{a, h.PEIP, false, true},
+		)
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, nil, err
+	}
 	ip, err := h.PEIP()
 	if err != nil {
 		return nil, nil, err
@@ -304,6 +336,9 @@ func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
 // per-application specialized PE at the post-mapping level (PE
 // contributions only).
 func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
+	if err := h.prefetch(h.domainSpecCells(false)); err != nil {
+		return nil, nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, nil, err
@@ -342,6 +377,21 @@ func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
 	return t, results, nil
 }
 
+// domainSpecCells builds the (app × {baseline, domain PE, PE Spec}) cell
+// grid Fig. 14 and Fig. 15 share, at the given place-and-route level.
+func (h *Harness) domainSpecCells(pnr bool) []evalCell {
+	var cells []evalCell
+	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+		a := a
+		cells = append(cells,
+			evalCell{a, h.Baseline, pnr, true},
+			evalCell{a, func() (*core.PEVariant, error) { return h.DomainVariantFor(a) }, pnr, true},
+			evalCell{a, func() (*core.PEVariant, error) { return h.SpecializedPE(a) }, pnr, true},
+		)
+	}
+	return cells
+}
+
 // ---------------------------------------------------------------------------
 // Fig. 15 — post-place-and-route comparison (interconnect included)
 // ---------------------------------------------------------------------------
@@ -349,6 +399,9 @@ func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
 // Fig15 repeats Fig. 14 with full place-and-route: total CGRA area and
 // energy including switch boxes, connection boxes, and memories.
 func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
+	if err := h.prefetch(h.domainSpecCells(true)); err != nil {
+		return nil, nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, nil, err
@@ -394,6 +447,20 @@ func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
 
 // Fig16 reports pre- vs post-pipelining area, energy, and perf/mm^2.
 func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error) {
+	var cells []evalCell
+	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+		a := a
+		domain := func() (*core.PEVariant, error) { return h.DomainVariantFor(a) }
+		for _, vf := range []func() (*core.PEVariant, error){h.Baseline, domain} {
+			cells = append(cells,
+				evalCell{a, vf, true, false},
+				evalCell{a, vf, true, true},
+			)
+		}
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, nil, err
@@ -436,6 +503,24 @@ func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error)
 // Table3 reports post-pipelining resource utilization for every
 // (application, PE variant) pair the paper tabulates.
 func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
+	var cells []evalCell
+	allApps := append(apps.AnalyzedIP(), apps.AnalyzedML()...)
+	for _, a := range allApps {
+		a := a
+		cells = append(cells,
+			evalCell{a, h.Baseline, true, true},
+			evalCell{a, func() (*core.PEVariant, error) { return h.SpecializedPE(a) }, true, true},
+		)
+	}
+	for _, a := range apps.AnalyzedIP() {
+		cells = append(cells, evalCell{a, h.PEIP, true, true})
+	}
+	for _, a := range apps.AnalyzedML() {
+		cells = append(cells, evalCell{a, h.PEML, true, true})
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, nil, err
@@ -503,6 +588,16 @@ func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
 // Fig17 compares FPGA, baseline CGRA, CGRA-IP, and ASIC on the image
 // applications (energy per output and runtime).
 func (h *Harness) Fig17(pnr bool) (*Table, error) {
+	var cells []evalCell
+	for _, a := range apps.AnalyzedIP() {
+		cells = append(cells,
+			evalCell{a, h.Baseline, pnr, true},
+			evalCell{a, h.PEIP, pnr, true},
+		)
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, err
@@ -551,6 +646,16 @@ func (h *Harness) Fig17(pnr bool) (*Table, error) {
 // Fig18 compares FPGA, baseline CGRA, CGRA-ML, and Simba on the ML
 // applications.
 func (h *Harness) Fig18(pnr bool) (*Table, error) {
+	var cells []evalCell
+	for _, a := range apps.AnalyzedML() {
+		cells = append(cells,
+			evalCell{a, h.Baseline, pnr, true},
+			evalCell{a, h.PEML, pnr, true},
+		)
+	}
+	if err := h.prefetch(cells); err != nil {
+		return nil, err
+	}
 	base, err := h.Baseline()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenName maps a table ID to its golden filename: lowercase, with
+// every run of non-alphanumerics collapsed to one underscore
+// ("Table 2 (and Fig. 11)" -> "table_2_and_fig_11.golden.md").
+func goldenName(id string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, r := range strings.ToLower(id) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			if pendingSep && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pendingSep = false
+			b.WriteRune(r)
+		default:
+			pendingSep = true
+		}
+	}
+	return b.String() + ".golden.md"
+}
+
+// TestGoldenTables pins the rendered Markdown of every fast-suite table
+// to a file under testdata/. Run with -update after an intentional
+// change to the numbers or the layout:
+//
+//	go test ./internal/eval -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	tables, err := fastHarness().Suite(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		name := goldenName(tab.ID)
+		if seen[name] {
+			t.Fatalf("two tables map to golden file %s", name)
+		}
+		seen[name] = true
+		path := filepath.Join("testdata", name)
+		got := tab.Markdown()
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run 'go test ./internal/eval -run TestGoldenTables -update')", tab.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: rendered table differs from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+				tab.ID, path, got, want)
+		}
+	}
+
+	// Every golden file must correspond to a live table — catch stale
+	// files left behind by renames.
+	if !*update {
+		entries, err := os.ReadDir("testdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".golden.md") && !seen[e.Name()] {
+				t.Errorf("stale golden file testdata/%s has no matching table", e.Name())
+			}
+		}
+	}
+}

@@ -10,8 +10,10 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -20,48 +22,52 @@ import (
 )
 
 // Harness caches analyses, PE variants, and evaluation results across
-// experiments, so the full suite runs each expensive step once.
+// experiments, so the full suite runs each expensive step once. All
+// methods are safe for concurrent use: the caches are singleflight memo
+// tables (duplicate keys compute exactly once even under contention),
+// and the figure drivers fan their independent (app, variant, pnr,
+// pipelined) cells out over a bounded worker pool before assembling the
+// tables in a fixed serial order — so worker count and completion order
+// can never change reported numbers or row order.
 type Harness struct {
 	FW *core.Framework
 	// FastMode skips place-and-route everywhere (post-mapping numbers
 	// only) — used by the unit tests; the benchmark harness runs full.
 	FastMode bool
+	// Workers bounds how many backend evaluations run concurrently when
+	// a figure driver fans out. 0 means GOMAXPROCS; 1 reproduces the
+	// fully serial behaviour.
+	Workers int
 
-	analyses map[string]*core.Analysis
-	variants map[string]*core.PEVariant
-	results  map[string]*core.Result
+	analyses *memoTable[*core.Analysis]
+	variants *memoTable[*core.PEVariant]
+	results  *memoTable[*core.Result]
 }
 
 // NewHarness returns a harness with the paper's defaults.
 func NewHarness() *Harness {
 	return &Harness{
 		FW:       core.New(),
-		analyses: map[string]*core.Analysis{},
-		variants: map[string]*core.PEVariant{},
-		results:  map[string]*core.Result{},
+		analyses: newMemoTable[*core.Analysis](),
+		variants: newMemoTable[*core.PEVariant](),
+		results:  newMemoTable[*core.Result](),
 	}
 }
 
 // Analysis returns the mined analysis of an application, cached.
 func (h *Harness) Analysis(app *apps.App) *core.Analysis {
-	if r, ok := h.analyses[app.Name]; ok {
-		return r
-	}
-	r := h.FW.Analyze(app)
-	h.analyses[app.Name] = r
-	return r
+	a, _ := h.analyses.do(app.Name, func() (*core.Analysis, error) {
+		return h.FW.Analyze(app), nil
+	})
+	return a
 }
 
 // Variant builds (or returns cached) a named PE variant.
 func (h *Harness) Variant(name string, build func() (*core.PEVariant, error)) (*core.PEVariant, error) {
-	if v, ok := h.variants[name]; ok {
-		return v, nil
-	}
-	v, err := build()
+	v, err := h.variants.do(name, build)
 	if err != nil {
 		return nil, fmt.Errorf("eval: variant %s: %w", name, err)
 	}
-	h.variants[name] = v
 	return v, nil
 }
 
@@ -143,25 +149,93 @@ func (h *Harness) PEML() (*core.PEVariant, error) {
 
 // Evaluate runs (and caches) the backend for an (app, variant) pair.
 // pnr=false evaluates post-mapping only; pipelined=false disables PE and
-// application pipelining (Fig. 16's "pre-pipelining" rows).
+// application pipelining (Fig. 16's "pre-pipelining" rows). The options
+// travel to the framework as explicit core.EvalOptions, so concurrent
+// evaluations cannot interfere and a failing evaluation leaves no state
+// behind that could change later results.
 func (h *Harness) Evaluate(app *apps.App, v *core.PEVariant, pnr, pipelined bool) (*core.Result, error) {
 	if h.FastMode {
 		pnr = false
 	}
 	key := fmt.Sprintf("%s|%s|%v|%v", app.Name, v.Name, pnr, pipelined)
-	if r, ok := h.results[key]; ok {
-		return r, nil
+	return h.results.do(key, func() (*core.Result, error) {
+		return h.FW.Evaluate(app, v, core.EvalOptions{PnR: pnr, Pipelined: pipelined})
+	})
+}
+
+// workers resolves the effective worker-pool size.
+func (h *Harness) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
 	}
-	prevSkip, prevPipe := h.FW.SkipPnR, h.FW.AppPipelining
-	h.FW.SkipPnR = !pnr
-	h.FW.AppPipelining = pipelined
-	r, err := h.FW.Evaluate(app, v)
-	h.FW.SkipPnR, h.FW.AppPipelining = prevSkip, prevPipe
-	if err != nil {
-		return nil, err
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallel runs the jobs on a bounded worker pool and returns the
+// lowest-index error (matching what a serial run would report first).
+// With one worker the jobs run serially in order.
+func (h *Harness) parallel(jobs []func() error) error {
+	n := h.workers()
+	if n > len(jobs) {
+		n = len(jobs)
 	}
-	h.results[key] = r
-	return r, nil
+	if n <= 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, job func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalCell names one independent unit of figure work: evaluate one
+// application on one (lazily resolved) PE variant at one level.
+type evalCell struct {
+	app       *apps.App
+	variant   func() (*core.PEVariant, error)
+	pnr       bool
+	pipelined bool
+}
+
+// prefetch warms the caches for a set of evaluation cells on the worker
+// pool. Each cell resolves its variant through the singleflight variant
+// cache first, so duplicate variant builds collapse too. The figure
+// drivers call this before assembling rows serially from the (now warm)
+// caches: completion order cannot affect row order or numbers.
+func (h *Harness) prefetch(cells []evalCell) error {
+	jobs := make([]func() error, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func() error {
+			v, err := c.variant()
+			if err != nil {
+				return err
+			}
+			_, err = h.Evaluate(c.app, v, c.pnr, c.pipelined)
+			return err
+		}
+	}
+	return h.parallel(jobs)
 }
 
 // DomainVariantFor returns PE IP for image apps and PE ML for ML apps.

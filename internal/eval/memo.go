@@ -1,0 +1,47 @@
+package eval
+
+import "sync"
+
+// memoTable is a concurrency-safe, singleflight-style memo cache. The
+// first caller of a key installs an in-flight entry and runs the build
+// function *outside* the table lock; concurrent callers of the same key
+// block on the entry's done channel and observe the exact same value,
+// so every build function executes at most once per key no matter how
+// many goroutines race on it. Callers of other keys are never blocked
+// by an in-flight build.
+//
+// Errors are cached alongside values: the whole flow is deterministic
+// (seeded placement, pure analyses), so retrying a failed build cannot
+// succeed and would only make results depend on call order.
+type memoTable[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done chan struct{} // closed once val/err are final
+	val  V
+	err  error
+}
+
+func newMemoTable[V any]() *memoTable[V] {
+	return &memoTable[V]{entries: map[string]*memoEntry[V]{}}
+}
+
+// do returns the memoized value for key, running build at most once per
+// key across all goroutines.
+func (t *memoTable[V]) do(key string, build func() (V, error)) (V, error) {
+	t.mu.Lock()
+	if e, ok := t.entries[key]; ok {
+		t.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	t.entries[key] = e
+	t.mu.Unlock()
+
+	e.val, e.err = build()
+	close(e.done)
+	return e.val, e.err
+}

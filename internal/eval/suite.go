@@ -1,0 +1,59 @@
+package eval
+
+// Suite runs every experiment in the canonical report order and returns
+// the tables. pnr=false is the fast post-mapping suite (what -fast and
+// the unit tests run); pnr=true adds the place-and-route-only figures
+// (Fig. 15, Fig. 16, Table 3). The order and contents are independent of
+// h.Workers: drivers prefetch cells concurrently but assemble rows
+// serially, so the determinism and golden tests compare Suite output
+// byte for byte across worker counts.
+func (h *Harness) Suite(pnr bool) ([]*Table, error) {
+	var tables []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	tables = append(tables, Table1())
+	t3, _ := Fig3()
+	tables = append(tables, t3)
+	t4, _ := Fig4()
+	tables = append(tables, t4)
+	t5, _ := Fig5()
+	tables = append(tables, t5)
+	if err := add(h.Fig10()); err != nil {
+		return nil, err
+	}
+	{
+		t, _, err := h.CameraLadder(pnr)
+		if err := add(t, err); err != nil {
+			return nil, err
+		}
+	}
+	type tabFn func() (*Table, error)
+	steps := []tabFn{
+		func() (*Table, error) { t, _, err := h.Fig12(); return t, err },
+		func() (*Table, error) { t, _, err := h.Fig13(); return t, err },
+		func() (*Table, error) { t, _, err := h.Fig14(); return t, err },
+	}
+	if pnr {
+		steps = append(steps,
+			func() (*Table, error) { t, _, err := h.Fig15(); return t, err },
+			func() (*Table, error) { t, _, err := h.Fig16(); return t, err },
+			func() (*Table, error) { t, _, err := h.Table3(); return t, err },
+		)
+	}
+	steps = append(steps,
+		func() (*Table, error) { return h.Fig17(pnr) },
+		func() (*Table, error) { return h.Fig18(pnr) },
+		func() (*Table, error) { return h.Ablations() },
+	)
+	for _, step := range steps {
+		if err := add(step()); err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}

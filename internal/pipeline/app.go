@@ -1,8 +1,21 @@
 package pipeline
 
 import (
+	"sort"
+
 	"repro/internal/rewrite"
 )
+
+// sortedPositions returns a position-indexed map's keys in ascending
+// order, for deterministic traversal.
+func sortedPositions(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // AppOptions tunes application pipelining.
 type AppOptions struct {
@@ -109,11 +122,15 @@ func BalanceApp(m *rewrite.Mapped, opt AppOptions) (*rewrite.Mapped, BalanceRepo
 		// Delay-match every operand to the latest arrival.
 		switch n.Kind {
 		case rewrite.KindPE:
-			for pos, p := range n.DataIn {
-				n.DataIn[pos] = delayed(p, latest)
+			// Fixed port order: delayed() allocates register nodes, so
+			// map-iteration order here would assign different register
+			// indices to different ports run to run and make the whole
+			// place-and-route pipeline nondeterministic downstream.
+			for _, pos := range sortedPositions(n.DataIn) {
+				n.DataIn[pos] = delayed(n.DataIn[pos], latest)
 			}
-			for pos, p := range n.BitIn {
-				n.BitIn[pos] = delayed(p, latest)
+			for _, pos := range sortedPositions(n.BitIn) {
+				n.BitIn[pos] = delayed(n.BitIn[pos], latest)
 			}
 		default:
 			if n.Arg >= 0 {

@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/pe"
@@ -61,16 +62,20 @@ type MNode struct {
 	Val   uint16
 }
 
-// Producers returns the indices of all producer nodes feeding n.
+// Producers returns the indices of all producer nodes feeding n, in
+// ascending port-position order. The order must be deterministic: the
+// placer and router derive topological order, net enumeration, and
+// annealing proposals from it, so map-iteration order here would make
+// place-and-route results vary run to run.
 func (n *MNode) Producers() []int {
 	switch n.Kind {
 	case KindPE:
-		var ps []int
-		for _, p := range n.DataIn {
-			ps = append(ps, p)
+		ps := make([]int, 0, len(n.DataIn)+len(n.BitIn))
+		for _, pos := range sortedPositions(n.DataIn) {
+			ps = append(ps, n.DataIn[pos])
 		}
-		for _, p := range n.BitIn {
-			ps = append(ps, p)
+		for _, pos := range sortedPositions(n.BitIn) {
+			ps = append(ps, n.BitIn[pos])
 		}
 		return ps
 	case KindInput, KindInputB:
@@ -81,6 +86,17 @@ func (n *MNode) Producers() []int {
 		}
 		return []int{n.Arg}
 	}
+}
+
+// sortedPositions returns the keys of a position-indexed map in
+// ascending order.
+func sortedPositions(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Mapped is an application mapped onto a PE architecture: a graph of PE,
