@@ -1,10 +1,10 @@
 # Developer entry points. `make check` is the full gate the CI-equivalent
-# run uses: vet + formatting + the whole test suite under the race
-# detector.
+# run uses: vet + formatting + the panic/log.Fatal lint + the whole test
+# suite under the race detector.
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench golden check
+.PHONY: build test race vet fmt-check bench golden faultcheck panic-lint check
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,22 @@ bench:
 golden:
 	$(GO) test ./internal/eval -run TestGoldenTables -update
 
-check: vet fmt-check build race
+# The fault-injection and ladder suites under the race detector: every
+# failure mode (panic, non-convergence, timeout, cancellation) must
+# surface per cell while the rest of the run completes (DESIGN.md §8).
+faultcheck:
+	$(GO) test -race ./internal/fault/ ./internal/eval/ -run 'Fault|KeepGoing|Cancel|Timeout|Memo'
+	$(GO) test -race ./internal/core/ -run 'PnR|Cancellation'
+
+# Library code must use the internal/fault taxonomy, not panics or
+# process exits: reject new panic( / log.Fatal in non-test internal/
+# sources (mains in cmd/ may log.Fatal at top level).
+panic-lint:
+	@bad=$$(grep -rn --include='*.go' -e 'panic(' -e 'log\.Fatal' internal/ \
+		| grep -v '_test\.go:' | grep -v 'lint:allow-panic'; true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic()/log.Fatal in library code (use internal/fault errors):"; \
+		echo "$$bad"; exit 1; fi
+
+check: vet fmt-check panic-lint build race
 	@echo "all checks passed"

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -71,7 +72,7 @@ func BenchmarkFig11CameraLadder(b *testing.B) {
 	var rungs []eval.LadderResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rungs, err = sharedHarness.CameraLadder(true)
+		_, rungs, err = sharedHarness.CameraLadder(context.Background(), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkTable2CameraPerf(b *testing.B) {
 	var rungs []eval.LadderResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rungs, err = sharedHarness.CameraLadder(true)
+		_, rungs, err = sharedHarness.CameraLadder(context.Background(), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkTable2CameraPerf(b *testing.B) {
 
 func BenchmarkFig12IPVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sharedHarness.Fig12(); err != nil {
+		if _, _, err := sharedHarness.Fig12(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkFig13Unseen(b *testing.B) {
 	var results map[string][2]*core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, results, err = sharedHarness.Fig13()
+		_, results, err = sharedHarness.Fig13(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func BenchmarkFig13Unseen(b *testing.B) {
 
 func BenchmarkFig14PostMapping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sharedHarness.Fig14(); err != nil {
+		if _, _, err := sharedHarness.Fig14(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +131,7 @@ func BenchmarkFig15PostPnR(b *testing.B) {
 	var results map[string]map[string]*core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, results, err = sharedHarness.Fig15()
+		_, results, err = sharedHarness.Fig15(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig16Pipelining(b *testing.B) {
 	var results map[string]map[string][2]*core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, results, err = sharedHarness.Fig16()
+		_, results, err = sharedHarness.Fig16(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func BenchmarkFig16Pipelining(b *testing.B) {
 
 func BenchmarkTable3Utilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sharedHarness.Table3(); err != nil {
+		if _, _, err := sharedHarness.Table3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func BenchmarkTable3Utilization(b *testing.B) {
 
 func BenchmarkFig17Accelerators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sharedHarness.Fig17(true); err != nil {
+		if _, err := sharedHarness.Fig17(context.Background(), true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func BenchmarkFig17Accelerators(b *testing.B) {
 
 func BenchmarkFig18ML(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sharedHarness.Fig18(true); err != nil {
+		if _, err := sharedHarness.Fig18(context.Background(), true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -187,7 +188,7 @@ func runFullEval(b *testing.B, workers int) {
 	h := eval.NewHarness()
 	h.FastMode = true
 	h.Workers = workers
-	tables, err := h.Suite(false)
+	tables, err := h.Suite(context.Background(), false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -224,13 +225,13 @@ func BenchmarkMemoContention(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := h.Evaluate(app, base, false, true); err != nil {
+	if _, err := h.Evaluate(context.Background(), app, base, false, true); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := h.Evaluate(app, base, false, true); err != nil {
+			if _, err := h.Evaluate(context.Background(), app, base, false, true); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -255,7 +256,7 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rMIS, err := fw.Evaluate(app, vMIS, core.PostMapping)
+		rMIS, err := fw.Evaluate(context.Background(), app, vMIS, core.PostMapping)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rF, err := fw.Evaluate(app, vF, core.PostMapping)
+		rF, err := fw.Evaluate(context.Background(), app, vF, core.PostMapping)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -405,12 +406,12 @@ func BenchmarkAblationTrackSweep(b *testing.B) {
 		for _, tracks := range []int{2, 3, 5} {
 			fab := cgra.Default()
 			fab.Tracks16 = tracks
-			p, err := cgra.Place(bal, fab, cgra.PlaceOptions{Seed: 1, Moves: 50000})
+			p, err := cgra.Place(context.Background(), bal, fab, cgra.PlaceOptions{Seed: 1, Moves: 50000})
 			if err != nil {
 				routable[tracks] = false
 				continue
 			}
-			_, err = cgra.RouteAll(p, cgra.RouteOptions{MaxIterations: 12})
+			_, err = cgra.RouteAll(context.Background(), p, cgra.RouteOptions{MaxIterations: 12})
 			routable[tracks] = err == nil
 		}
 	}

@@ -4,14 +4,25 @@
 // the default full run places and routes every design on the 32x16
 // fabric. -j N evaluates independent cells on N workers (default
 // GOMAXPROCS); the printed tables are byte-identical for every N.
+//
+// Fault tolerance: -timeout bounds the whole run and -cell-timeout
+// bounds each evaluation cell; SIGINT cancels cleanly. With -keep-going
+// a failed or timed-out cell is reported and skipped instead of
+// aborting the run — unaffected tables print exactly as in a clean run,
+// a fault report lists the affected cells, and the process exits 2.
+//
+// Exit status: 0 clean, 1 hard error, 2 completed with degraded,
+// failed, or canceled cells.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -20,15 +31,41 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apex-eval: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code, err := run(ctx)
+	stop()
+	if err != nil {
+		log.Print(err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run(ctx context.Context) (int, error) {
 	fast := flag.Bool("fast", false, "skip place-and-route (post-mapping only)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. 'table2,fig13')")
 	jsonPath := flag.String("json", "", "also write all results as JSON to this file")
 	j := flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = serial; output is identical either way)")
+	keepGoing := flag.Bool("keep-going", false, "report failed cells and continue instead of aborting")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "deadline for each evaluation cell (0 = none)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	h := eval.NewHarness()
 	h.FastMode = *fast
 	h.Workers = *j
+	h.KeepGoing = *keepGoing
+	h.CellTimeout = *cellTimeout
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -36,88 +73,104 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
 	}
-	run := func(id string) bool { return len(want) == 0 || want[id] }
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
 	var collected []*eval.Table
+	var emitErr error
 	emit := func(t *eval.Table, err error) {
+		if emitErr != nil {
+			return
+		}
 		if err != nil {
-			log.Fatalf("%s: %v", t, err)
+			// Under -keep-going the per-cell errors are already in
+			// h.Report; skip the poisoned table unless the whole run was
+			// canceled. Without it, the first failure aborts.
+			if h.KeepGoing && ctx.Err() == nil {
+				return
+			}
+			emitErr = err
+			return
 		}
 		collected = append(collected, t)
 		fmt.Println(t.Markdown())
 	}
-	defer func() {
-		if *jsonPath == "" {
-			return
-		}
-		data, err := json.MarshalIndent(collected, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
-	}()
 
 	start := time.Now()
-	if run("table1") {
+	if sel("table1") {
 		emit(eval.Table1(), nil)
 	}
-	if run("fig3") {
+	if sel("fig3") {
 		t, _ := eval.Fig3()
 		emit(t, nil)
 	}
-	if run("fig4") {
+	if sel("fig4") {
 		t, _ := eval.Fig4()
 		emit(t, nil)
 	}
-	if run("fig5") {
+	if sel("fig5") {
 		t, _ := eval.Fig5()
 		emit(t, nil)
 	}
-	if run("fig10") {
+	if sel("fig10") {
 		t, err := h.Fig10()
 		emit(t, err)
 	}
-	if run("table2") || run("fig11") {
-		t, _, err := h.CameraLadder(!*fast)
+	if sel("table2") || sel("fig11") {
+		t, _, err := h.CameraLadder(ctx, !*fast)
 		emit(t, err)
 	}
-	if run("fig12") {
-		t, _, err := h.Fig12()
+	if sel("fig12") {
+		t, _, err := h.Fig12(ctx)
 		emit(t, err)
 	}
-	if run("fig13") {
-		t, _, err := h.Fig13()
+	if sel("fig13") {
+		t, _, err := h.Fig13(ctx)
 		emit(t, err)
 	}
-	if run("fig14") {
-		t, _, err := h.Fig14()
+	if sel("fig14") {
+		t, _, err := h.Fig14(ctx)
 		emit(t, err)
 	}
-	if !*fast && run("fig15") {
-		t, _, err := h.Fig15()
+	if !*fast && sel("fig15") {
+		t, _, err := h.Fig15(ctx)
 		emit(t, err)
 	}
-	if !*fast && run("fig16") {
-		t, _, err := h.Fig16()
+	if !*fast && sel("fig16") {
+		t, _, err := h.Fig16(ctx)
 		emit(t, err)
 	}
-	if !*fast && run("table3") {
-		t, _, err := h.Table3()
+	if !*fast && sel("table3") {
+		t, _, err := h.Table3(ctx)
 		emit(t, err)
 	}
-	if run("fig17") {
-		t, err := h.Fig17(!*fast)
+	if sel("fig17") {
+		t, err := h.Fig17(ctx, !*fast)
 		emit(t, err)
 	}
-	if run("fig18") {
-		t, err := h.Fig18(!*fast)
+	if sel("fig18") {
+		t, err := h.Fig18(ctx, !*fast)
 		emit(t, err)
 	}
-	if run("ablations") {
-		t, err := h.Ablations()
+	if sel("ablations") {
+		t, err := h.Ablations(ctx)
 		emit(t, err)
+	}
+	if rt := h.Report.Table(); rt != nil {
+		collected = append(collected, rt)
+		fmt.Println(rt.Markdown())
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if emitErr != nil {
+		return 1, emitErr
 	}
 	fmt.Fprintf(os.Stderr, "apex-eval completed in %s\n", time.Since(start).Round(time.Millisecond))
+	return h.Report.ExitCode(), nil
 }

@@ -4,9 +4,12 @@
 //	apex-rtl -app camera -k 3          # specialized PE for an application
 //	apex-rtl -baseline                 # the general-purpose baseline PE
 //	apex-rtl -app camera -top          # also emit the 32x16 CGRA top
+//
+// Exit status: 0 on success, 1 on any error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +23,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apex-rtl: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	appName := flag.String("app", "", "application to specialize for")
 	k := flag.Int("k", 3, "subgraphs to merge")
 	baseline := flag.Bool("baseline", false, "emit the baseline PE instead")
@@ -43,15 +52,15 @@ func main() {
 			v, err = fw.GeneratePE(a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
 		}
 	default:
-		log.Fatal("need -app <name> or -baseline")
+		return errors.New("need -app <name> or -baseline")
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	src := rtl.EmitPE(v.Name, v.Spec, v.Pipelined)
 	if err := rtl.Lint(src); err != nil {
-		log.Fatalf("emitted Verilog failed lint: %v", err)
+		return fmt.Errorf("emitted Verilog failed lint: %w", err)
 	}
 	fmt.Print(src)
 	if *top {
@@ -62,7 +71,7 @@ func main() {
 			rtl.EmitCGRATop("cgra_top", f.W, f.H, f.MemColumnStride, f.Tracks16, v.Name),
 		} {
 			if err := rtl.Lint(section); err != nil {
-				log.Fatalf("emitted Verilog failed lint: %v", err)
+				return fmt.Errorf("emitted Verilog failed lint: %w", err)
 			}
 			fmt.Print("\n")
 			fmt.Print(section)
@@ -72,18 +81,19 @@ func main() {
 		// The rule set is sorted complex-first; emit a testbench for the
 		// most interesting rule.
 		if len(v.Rules.Rules) == 0 {
-			log.Fatal("no rules to test")
+			return errors.New("no rules to test")
 		}
 		bench, err := rtl.EmitTestbench(v.Name, v.Rules.Rules[0], 32, 1)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := rtl.Lint(bench); err != nil {
-			log.Fatalf("testbench failed lint: %v", err)
+			return fmt.Errorf("testbench failed lint: %w", err)
 		}
 		fmt.Print("\n")
 		fmt.Print(bench)
 	}
 	fmt.Fprintf(os.Stderr, "emitted %s: %d config bits, %d pipeline stages\n",
 		v.Name, v.Spec.ConfigBits(), v.Pipelined.Stages)
+	return nil
 }

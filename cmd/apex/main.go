@@ -11,16 +11,24 @@
 //
 // Flags come before the positional argument. Applications: camera,
 // harris, gaussian, unsharp, resnet, mobilenet, laplacian, stereo, fast.
+//
+// Exit status: 0 on success, 1 on a hard error (bad usage, evaluation
+// failure, cancellation), 2 when the run completed but place-and-route
+// degraded to the analytical estimate. SIGINT cancels the run cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
@@ -33,48 +41,83 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apex: ")
-	if len(os.Args) < 2 {
-		usage()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code, err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		log.Print(err)
+		if code == 0 {
+			code = 1
+		}
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	os.Exit(code)
+}
+
+// run dispatches the subcommand and returns the process exit code: 0 for
+// success, 1 for hard errors (paired with a non-nil error), 2 when the
+// evaluation completed with a degraded place-and-route result.
+func run(ctx context.Context, args []string) (int, error) {
+	if len(args) < 1 {
+		return 1, usageErr()
+	}
+	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "apps":
 		listApps()
+		return 0, nil
 	case "analyze":
-		analyze(args)
+		return 0, analyze(rest)
 	case "generate":
-		generate(args)
+		return 0, generate(rest)
 	case "evaluate":
-		evaluate(args)
+		return evaluate(ctx, rest)
 	case "compile":
-		compileKernel(args)
+		return 0, compileKernel(ctx, rest)
 	case "simulate":
-		simulate(args)
+		return simulate(ctx, rest)
 	default:
-		usage()
+		return 1, usageErr()
 	}
+}
+
+func usageErr() error {
+	return errors.New("usage: apex {apps|analyze|generate|evaluate|simulate|compile} [args]")
+}
+
+// withTimeout applies an optional wall-clock budget to ctx.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // simulate runs the full backend for an application and then validates
 // the placed design on the cycle-accurate fabric simulator against the
 // application's reference semantics — the flow's VCS-simulation step.
 // Vectors are independent, so -j validates them on a bounded worker pool.
-func simulate(args []string) {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+func simulate(ctx context.Context, args []string) (int, error) {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	k := fs.Int("k", 3, "subgraphs to merge into the PE")
 	vectors := fs.Int("vectors", 20, "random input vectors to check")
 	j := fs.Int("j", runtime.GOMAXPROCS(0), "parallel validation workers")
-	app := appArg(fs, args)
+	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	app, err := appArg(fs, args)
+	if err != nil {
+		return 1, err
+	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 
 	fw := core.New()
 	an := fw.Analyze(app)
 	v, err := fw.GeneratePE(app.Name+"_pe", app.UsedOps(), core.SelectPatterns(an, *k))
 	if err != nil {
-		log.Fatal(err)
+		return 1, err
 	}
-	r, err := fw.Evaluate(app, v, core.FullEval)
+	r, err := fw.Evaluate(ctx, app, v, core.FullEval)
 	if err != nil {
-		log.Fatal(err)
+		return 1, err
 	}
 	peLat := v.Pipelined.Stages
 	if peLat < 1 {
@@ -127,7 +170,7 @@ func simulate(args []string) {
 				errs[vec] = err
 				return
 			}
-			trace, err := cgra.Simulate(r.Balanced, peLat, c.inputs, maxLat+4)
+			trace, err := cgra.Simulate(ctx, r.Balanced, peLat, c.inputs, maxLat+4)
 			if err != nil {
 				errs[vec] = err
 				return
@@ -144,37 +187,33 @@ func simulate(args []string) {
 	wg.Wait()
 	for vec, err := range errs {
 		if err != nil {
-			log.Fatalf("vector %d: %v", vec, err)
+			return 1, fmt.Errorf("vector %d: %w", vec, err)
 		}
 	}
 	fmt.Printf("%s on %s: %d PEs placed and routed; fabric simulation matches the\n", app.Name, v.Name, r.NumPEs)
 	fmt.Printf("reference on %d random vectors (latency %d cycles, period %.0f ps)\n", *vectors, maxLat, r.PeriodPS)
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apex {apps|analyze|generate|evaluate|simulate|compile} [args]")
-	os.Exit(2)
+	return 0, nil
 }
 
 // compileKernel compiles a user-written kernel (see internal/frontend),
 // maps it onto the baseline PE, and reports the result — the entry point
 // for bringing custom applications to the framework.
-func compileKernel(args []string) {
-	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+func compileKernel(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
 	k := fs.Int("k", 2, "subgraphs to merge into a specialized PE (0 = baseline only)")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return err
 	}
 	if fs.NArg() != 1 {
-		log.Fatal("expected one kernel file (see internal/frontend for the language)")
+		return errors.New("expected one kernel file (see internal/frontend for the language)")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g, err := frontend.Compile(fs.Arg(0), string(src))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	raw := g.ComputeNodeCount()
 	g = ir.Optimize(g)
@@ -192,27 +231,24 @@ func compileKernel(args []string) {
 		v, err = fw.BaselinePE()
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	r, err := fw.Evaluate(app, v, core.PostMapping)
+	r, err := fw.Evaluate(ctx, app, v, core.PostMapping)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("mapped onto %d PEs (%s, core %.1f um^2)\n", r.NumPEs, v.Name, r.PECoreArea)
+	return nil
 }
 
-func appArg(fs *flag.FlagSet, args []string) *apps.App {
+func appArg(fs *flag.FlagSet, args []string) (*apps.App, error) {
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return nil, err
 	}
 	if fs.NArg() != 1 {
-		log.Fatalf("expected one application name; run 'apex apps'")
+		return nil, errors.New("expected one application name; run 'apex apps'")
 	}
-	a, err := apps.ByName(fs.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	return a
+	return apps.ByName(fs.Arg(0))
 }
 
 func listApps() {
@@ -226,15 +262,18 @@ func listApps() {
 	}
 }
 
-func analyze(args []string) {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	top := fs.Int("top", 10, "number of patterns to print")
 	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
-	app := appArg(fs, args)
+	app, err := appArg(fs, args)
+	if err != nil {
+		return err
+	}
 
 	if *dot {
 		fmt.Print(app.Graph.DOT())
-		return
+		return nil
 	}
 	fw := core.New()
 	an := fw.Analyze(app)
@@ -247,12 +286,16 @@ func analyze(args []string) {
 		fmt.Printf("%3d. MIS=%-4d occurrences=%-4d size=%d  %s\n",
 			i+1, r.MISSize, len(r.Occurrences), r.Pattern.ComputeSize(), r.Pattern.Code)
 	}
+	return nil
 }
 
-func generate(args []string) {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+func generate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
-	app := appArg(fs, args)
+	app, err := appArg(fs, args)
+	if err != nil {
+		return err
+	}
 
 	fw := core.New()
 	m := tech.Default()
@@ -260,7 +303,7 @@ func generate(args []string) {
 	chosen := core.SelectPatterns(an, *k)
 	v, err := fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), chosen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c := v.Spec.DP.Count()
 	fmt.Printf("generated %s: %d FUs, %d consts, %d inputs, %d muxes\n",
@@ -275,24 +318,28 @@ func generate(args []string) {
 				r.Name, r.Size, len(r.InputPorts)+len(r.BitPorts))
 		}
 	}
+	return nil
 }
 
-func evaluate(args []string) {
-	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+func evaluate(ctx context.Context, args []string) (int, error) {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
 	baseline := fs.Bool("baseline", false, "evaluate on the general-purpose baseline PE instead")
 	fast := fs.Bool("fast", false, "skip place-and-route")
-	app := appArg(fs, args)
+	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	app, err := appArg(fs, args)
+	if err != nil {
+		return 1, err
+	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 
 	fw := core.New()
 	opt := core.FullEval
 	if *fast {
 		opt = core.PostMapping
 	}
-	var (
-		v   *core.PEVariant
-		err error
-	)
+	var v *core.PEVariant
 	if *baseline {
 		v, err = fw.BaselinePE()
 	} else {
@@ -300,11 +347,11 @@ func evaluate(args []string) {
 		v, err = fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), core.SelectPatterns(an, *k))
 	}
 	if err != nil {
-		log.Fatal(err)
+		return 1, err
 	}
-	r, err := fw.Evaluate(app, v, opt)
+	r, err := fw.Evaluate(ctx, app, v, opt)
 	if err != nil {
-		log.Fatal(err)
+		return 1, err
 	}
 	fmt.Printf("%s on %s\n", app.Name, v.Name)
 	fmt.Printf("  utilization  %d PEs, %d mems, %d RFs, %d IOs, %d regs, %d routing tiles\n",
@@ -316,4 +363,10 @@ func evaluate(args []string) {
 	fmt.Printf("  timing       %.0f ps period, %d cycles latency, %.3f ms runtime\n",
 		r.PeriodPS, r.LatencyCyc, r.RuntimeMS)
 	fmt.Printf("  perf         %.2f outputs/ms/mm^2\n", r.PerfPerMM2)
+	if r.Degraded {
+		fmt.Printf("  DEGRADED     %s (after %d PnR attempts; metrics are the analytical estimate)\n",
+			r.DegradedReason, r.PnRAttempts)
+		return 2, nil
+	}
+	return 0, nil
 }

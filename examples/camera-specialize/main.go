@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 	fmt.Printf("\n%-10s %6s %12s %14s %14s %10s\n",
 		"variant", "#PEs", "area/PE", "total PE area", "energy/out", "latency")
 	for _, v := range variants {
-		r, err := fw.Evaluate(app, v, core.FullEval)
+		r, err := fw.Evaluate(context.Background(), app, v, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}

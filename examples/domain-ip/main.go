@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,11 +56,11 @@ func main() {
 	fmt.Printf("%-10s %-8s %10s %10s %14s %14s\n",
 		"app", "status", "#PE base", "#PE IP", "area vs base", "energy vs base")
 	run := func(a *apps.App, status string) {
-		rb, err := fw.Evaluate(a, base, opt)
+		rb, err := fw.Evaluate(context.Background(), a, base, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ri, err := fw.Evaluate(a, ip, opt)
+		ri, err := fw.Evaluate(context.Background(), a, ip, opt)
 		if err != nil {
 			log.Fatalf("%s: %v", a.Name, err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,11 +51,11 @@ func main() {
 
 	fmt.Printf("%-10s %-10s %14s %14s\n", "app", "platform", "energy/out", "area")
 	for _, a := range apps.AnalyzedML() {
-		rb, err := fw.Evaluate(a, base, core.FullEval)
+		rb, err := fw.Evaluate(context.Background(), a, base, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rm, err := fw.Evaluate(a, ml, core.FullEval)
+		rm, err := fw.Evaluate(context.Background(), a, ml, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func main() {
 	// End-to-end validation: simulate the mapped, balanced ResNet layer
 	// cycle by cycle and compare the steady state with the reference.
 	resnet := apps.ResNet()
-	r, err := fw.Evaluate(resnet, ml, core.FullEval)
+	r, err := fw.Evaluate(context.Background(), resnet, ml, core.FullEval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func main() {
 		inputs[resnet.Graph.Nodes[in].Name] = []uint16{v}
 		ref[resnet.Graph.Nodes[in].Name] = v
 	}
-	trace, err := cgra.Simulate(r.Balanced, peLat, inputs, lat+4)
+	trace, err := cgra.Simulate(context.Background(), r.Balanced, peLat, inputs, lat+4)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -168,8 +168,22 @@ func (tb *tapBank) size() int            { return len(tb.taps) }
 // paper's Fig. 3 convolution has, so its frequent subgraphs (mul->add,
 // add->add, const->mul->add) appear naturally.
 func macTree(g *ir.Graph, taps []ir.NodeRef, weights []uint16) ir.NodeRef {
-	if len(taps) != len(weights) || len(taps) == 0 {
-		panic("apps: macTree: taps/weights mismatch")
+	if len(taps) == 0 {
+		g.Failf("apps: macTree: no taps")
+		return g.Const(0)
+	}
+	if len(taps) != len(weights) {
+		// Record the misuse on the graph and build from the common prefix so
+		// construction stays total; Validate/Eval surface the sticky error.
+		g.Failf("apps: macTree: %d taps but %d weights", len(taps), len(weights))
+		if len(weights) < len(taps) {
+			taps = taps[:len(weights)]
+		} else {
+			weights = weights[:len(taps)]
+		}
+		if len(taps) == 0 {
+			return g.Const(0)
+		}
 	}
 	acc := g.OpNode(ir.OpMul, taps[0], g.Const(weights[0]))
 	for i := 1; i < len(taps); i++ {

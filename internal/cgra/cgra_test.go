@@ -1,6 +1,7 @@
 package cgra
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -79,7 +80,7 @@ func smallMapped(t *testing.T) (*ir.Graph, *rewrite.Mapped) {
 
 func TestPlaceSmall(t *testing.T) {
 	_, m := smallMapped(t)
-	p, err := Place(m, Default(), PlaceOptions{Seed: 1})
+	p, err := Place(context.Background(), m, Default(), PlaceOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestPlaceSmall(t *testing.T) {
 func TestPlaceRejectsOversizedDesign(t *testing.T) {
 	_, m := smallMapped(t)
 	tiny := NewFabric(2, 2)
-	if _, err := Place(m, tiny, PlaceOptions{}); err == nil {
+	if _, err := Place(context.Background(), m, tiny, PlaceOptions{}); err == nil {
 		t.Fatal("expected capacity error on 2x2 fabric")
 	}
 }
@@ -113,7 +114,7 @@ func TestPlaceAllAppsFit(t *testing.T) {
 			t.Fatalf("%s: %v", a.Name, err)
 		}
 		bal, _ := pipeline.BalanceApp(m, pipeline.AppOptions{PELatency: 1})
-		p, err := Place(bal, Default(), PlaceOptions{Seed: 7, Moves: 20000})
+		p, err := Place(context.Background(), bal, Default(), PlaceOptions{Seed: 7, Moves: 20000})
 		if err != nil {
 			t.Errorf("%s: %v", a.Name, err)
 			continue
@@ -126,11 +127,11 @@ func TestPlaceAllAppsFit(t *testing.T) {
 
 func TestRouteSmall(t *testing.T) {
 	_, m := smallMapped(t)
-	p, err := Place(m, Default(), PlaceOptions{Seed: 1})
+	p, err := Place(context.Background(), m, Default(), PlaceOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RouteAll(p, RouteOptions{})
+	r, err := RouteAll(context.Background(), p, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +178,11 @@ func TestRouteCongestionResolves(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := NewFabric(8, 4)
-	p, err := Place(m, f, PlaceOptions{Seed: 3})
+	p, err := Place(context.Background(), m, f, PlaceOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RouteAll(p, RouteOptions{})
+	r, err := RouteAll(context.Background(), p, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,8 +193,8 @@ func TestRouteCongestionResolves(t *testing.T) {
 
 func TestRoutingStats(t *testing.T) {
 	_, m := smallMapped(t)
-	p, _ := Place(m, Default(), PlaceOptions{Seed: 1})
-	r, err := RouteAll(p, RouteOptions{})
+	p, _ := Place(context.Background(), m, Default(), PlaceOptions{Seed: 1})
+	r, err := RouteAll(context.Background(), p, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,8 +214,8 @@ func TestRoutingStats(t *testing.T) {
 
 func TestBitstreamDeterministicAndDecodable(t *testing.T) {
 	_, m := smallMapped(t)
-	p, _ := Place(m, Default(), PlaceOptions{Seed: 1})
-	r, err := RouteAll(p, RouteOptions{})
+	p, _ := Place(context.Background(), m, Default(), PlaceOptions{Seed: 1})
+	r, err := RouteAll(context.Background(), p, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestSimulateCombinationalMatchesEval(t *testing.T) {
 			evalIn[app.Nodes[in].Name] = v
 		}
 		want, _ := app.Eval(evalIn)
-		got, err := Simulate(m, 0, inputs, 1)
+		got, err := Simulate(context.Background(), m, 0, inputs, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,7 +291,7 @@ func TestSimulatePipelinedSteadyState(t *testing.T) {
 			evalIn[app.Nodes[in].Name] = v
 		}
 		want, _ := app.Eval(evalIn)
-		trace, err := Simulate(bal, peLat, inputs, lat+2)
+		trace, err := Simulate(context.Background(), bal, peLat, inputs, lat+2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,7 +321,7 @@ func TestSimulateTimeVaryingStream(t *testing.T) {
 		}
 		inputs[app.Nodes[in].Name] = stream
 	}
-	trace, err := Simulate(bal, peLat, inputs, cycles)
+	trace, err := Simulate(context.Background(), bal, peLat, inputs, cycles)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cgra
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/rewrite"
@@ -9,11 +10,11 @@ import (
 func routedSmall(t *testing.T) (*Routing, *Bitstream) {
 	t.Helper()
 	_, m := smallMapped(t)
-	p, err := Place(m, Default(), PlaceOptions{Seed: 1})
+	p, err := Place(context.Background(), m, Default(), PlaceOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RouteAll(p, RouteOptions{})
+	r, err := RouteAll(context.Background(), p, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package cgra
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/rewrite"
 )
 
@@ -28,8 +30,13 @@ type PlaceOptions struct {
 }
 
 // Place produces a legal placement minimizing estimated wirelength via
-// greedy seeding followed by simulated annealing.
-func Place(m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
+// greedy seeding followed by simulated annealing. Designs that exceed the
+// fabric's tile budget fail with fault.ErrCapacity; cancellation of ctx
+// aborts the annealing loop with fault.ErrCanceled.
+func Place(ctx context.Context, m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
+	if err := fault.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	p := &Placement{Fabric: f, Mapped: m, Loc: make([]Coord, len(m.Nodes))}
 
@@ -53,16 +60,16 @@ func Place(m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
 	memSlots := f.MemTiles()
 	ioSlots := f.IOSites()
 	if len(peNodes) > len(peSlots) {
-		return nil, fmt.Errorf("cgra: %d PEs exceed %d PE tiles", len(peNodes), len(peSlots))
+		return nil, fault.Capacityf("cgra: %d PEs exceed %d PE tiles", len(peNodes), len(peSlots))
 	}
 	if len(rfNodes) > len(peSlots) {
-		return nil, fmt.Errorf("cgra: %d register files exceed %d PE tiles", len(rfNodes), len(peSlots))
+		return nil, fault.Capacityf("cgra: %d register files exceed %d PE tiles", len(rfNodes), len(peSlots))
 	}
 	if len(memNodes) > len(memSlots) {
-		return nil, fmt.Errorf("cgra: %d memories exceed %d memory tiles", len(memNodes), len(memSlots))
+		return nil, fault.Capacityf("cgra: %d memories exceed %d memory tiles", len(memNodes), len(memSlots))
 	}
 	if len(ioNodes) > len(ioSlots) {
-		return nil, fmt.Errorf("cgra: %d IOs exceed %d IO sites", len(ioNodes), len(ioSlots))
+		return nil, fault.Capacityf("cgra: %d IOs exceed %d IO sites", len(ioNodes), len(ioSlots))
 	}
 
 	// Greedy seed: BFS order of the mapped graph onto slot lists sorted
@@ -111,7 +118,9 @@ func Place(m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
 		}
 	}
 
-	p.anneal(rng, opt.Moves, peNodes, rfNodes, memNodes, ioNodes, regNodes)
+	if err := p.anneal(ctx, rng, opt.Moves, peNodes, rfNodes, memNodes, ioNodes, regNodes); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,7 +147,10 @@ func (p *Placement) wirelength() int {
 }
 
 // anneal refines the placement with class-preserving swap/move proposals.
-func (p *Placement) anneal(rng *rand.Rand, moves int, peNodes, rfNodes, memNodes, ioNodes, regNodes []int) {
+// It polls ctx periodically (every 4096 moves) so a long anneal cannot
+// outlive a cancelled evaluation; the deterministic proposal sequence is
+// unaffected when ctx stays live.
+func (p *Placement) anneal(ctx context.Context, rng *rand.Rand, moves int, peNodes, rfNodes, memNodes, ioNodes, regNodes []int) error {
 	if moves <= 0 {
 		moves = 200 * len(p.Mapped.Nodes)
 		if moves > 400_000 {
@@ -176,7 +188,7 @@ func (p *Placement) anneal(rng *rand.Rand, moves int, peNodes, rfNodes, memNodes
 		movable = append(movable, cl...)
 	}
 	if len(movable) < 2 {
-		return
+		return nil
 	}
 	classOf := map[int]int{}
 	for ci, cl := range classes {
@@ -190,6 +202,11 @@ func (p *Placement) anneal(rng *rand.Rand, moves int, peNodes, rfNodes, memNodes
 	t := float64(p.Fabric.W + p.Fabric.H)
 	cool := math.Pow(0.01/t, 1/float64(moves))
 	for step := 0; step < moves; step++ {
+		if step&4095 == 0 {
+			if err := fault.Canceled(ctx); err != nil {
+				return err
+			}
+		}
 		a := movable[rng.Intn(len(movable))]
 		ca := classOf[a]
 		// Either swap with a same-class node or move to a free slot.
@@ -219,6 +236,7 @@ func (p *Placement) anneal(rng *rand.Rand, moves int, peNodes, rfNodes, memNodes
 		}
 		t *= cool
 	}
+	return nil
 }
 
 func accepted(before, after int, t float64, rng *rand.Rand) bool {

@@ -1,6 +1,7 @@
 package cgra
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,11 +11,11 @@ import (
 func TestAnnealingImprovesWirelength(t *testing.T) {
 	_, m := smallMapped(t)
 	fab := Default()
-	seeded, err := Place(m, fab, PlaceOptions{Seed: 5, Moves: 1}) // effectively no annealing
+	seeded, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 5, Moves: 1}) // effectively no annealing
 	if err != nil {
 		t.Fatal(err)
 	}
-	annealed, err := Place(m, fab, PlaceOptions{Seed: 5, Moves: 100000})
+	annealed, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 5, Moves: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,11 +31,11 @@ func TestAnnealingImprovesWirelength(t *testing.T) {
 func TestPlacementDeterministicPerSeed(t *testing.T) {
 	_, m := smallMapped(t)
 	fab := Default()
-	p1, err := Place(m, fab, PlaceOptions{Seed: 9, Moves: 20000})
+	p1, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 9, Moves: 20000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := Place(m, fab, PlaceOptions{Seed: 9, Moves: 20000})
+	p2, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 9, Moves: 20000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,19 +51,19 @@ func TestPlacementDeterministicPerSeed(t *testing.T) {
 func TestAnnealedRoutesShorter(t *testing.T) {
 	_, m := smallMapped(t)
 	fab := Default()
-	bad, err := Place(m, fab, PlaceOptions{Seed: 3, Moves: 1})
+	bad, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 3, Moves: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	good, err := Place(m, fab, PlaceOptions{Seed: 3, Moves: 100000})
+	good, err := Place(context.Background(), m, fab, PlaceOptions{Seed: 3, Moves: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := RouteAll(bad, RouteOptions{})
+	rb, err := RouteAll(context.Background(), bad, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rg, err := RouteAll(good, RouteOptions{})
+	rg, err := RouteAll(context.Background(), good, RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

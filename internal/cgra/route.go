@@ -2,9 +2,11 @@ package cgra
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/rewrite"
 )
 
@@ -52,7 +54,12 @@ type RouteOptions struct {
 // track is oversubscribed. Sinks of one source are routed consecutively
 // and reuse the source's existing tracks at near-zero cost, forming
 // shared fanout trees.
-func RouteAll(p *Placement, opt RouteOptions) (*Routing, error) {
+//
+// Failure to converge within MaxIterations (and an unroutable net) is
+// reported as fault.ErrNonConvergence, so callers can distinguish "more
+// iterations might help" from hard errors. Cancellation of ctx aborts
+// between nets with fault.ErrCanceled.
+func RouteAll(ctx context.Context, p *Placement, opt RouteOptions) (*Routing, error) {
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 24
 	}
@@ -60,6 +67,9 @@ func RouteAll(p *Placement, opt RouteOptions) (*Routing, error) {
 	history := map[[2]Coord]float64{}
 	var r *Routing
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		if err := fault.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		r = &Routing{
 			Placement:  p,
 			Use16:      map[[2]Coord]int{},
@@ -68,7 +78,12 @@ func RouteAll(p *Placement, opt RouteOptions) (*Routing, error) {
 			srcs1:      map[[2]Coord]map[int]bool{},
 			Iterations: iter,
 		}
-		for _, net := range nets {
+		for ni, net := range nets {
+			if ni&255 == 0 {
+				if err := fault.Canceled(ctx); err != nil {
+					return nil, err
+				}
+			}
 			path, err := r.shortestPath(net, history)
 			if err != nil {
 				return nil, fmt.Errorf("cgra: net %d->%d: %w", net.Src, net.Dst, err)
@@ -93,7 +108,7 @@ func RouteAll(p *Placement, opt RouteOptions) (*Routing, error) {
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("cgra: routing did not converge in %d iterations", opt.MaxIterations)
+	return nil, fault.NonConvergencef("cgra: routing did not converge in %d iterations", opt.MaxIterations)
 }
 
 // claim records a routed path's track usage.
@@ -236,7 +251,7 @@ func (r *Routing) shortestPath(net Net, history map[[2]Coord]float64) ([]Coord, 
 			}
 		}
 	}
-	return nil, fmt.Errorf("no path %s -> %s", src, dst)
+	return nil, fault.NonConvergencef("no path %s -> %s", src, dst)
 }
 
 // RoutingOnlyTiles counts grid tiles traversed by routes whose cores are

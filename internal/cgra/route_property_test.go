@@ -1,6 +1,7 @@
 package cgra
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -49,14 +50,14 @@ func TestRoutePropertyRandomDesigns(t *testing.T) {
 	f := func(seed int64, sizeRaw uint8) bool {
 		m := randomMapped(t, seed, 3+int(sizeRaw%20))
 		fab := NewFabric(12, 6)
-		p, err := Place(m, fab, PlaceOptions{Seed: seed, Moves: 5000})
+		p, err := Place(context.Background(), m, fab, PlaceOptions{Seed: seed, Moves: 5000})
 		if err != nil {
 			return true // capacity misses are fine for random sizes
 		}
 		if p.Validate() != nil {
 			return false
 		}
-		r, err := RouteAll(p, RouteOptions{})
+		r, err := RouteAll(context.Background(), p, RouteOptions{})
 		if err != nil {
 			return true // congestion failure is allowed; wrong answers are not
 		}
@@ -112,7 +113,7 @@ func TestSimulatePropertyRandomDesigns(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		trace, err := Simulate(m, 0, inputs, 4)
+		trace, err := Simulate(context.Background(), m, 0, inputs, 4)
 		if err != nil {
 			return false
 		}

@@ -1,8 +1,10 @@
 package cgra
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/rewrite"
 )
@@ -13,8 +15,9 @@ import (
 // stages; memory tiles delay one cycle; interconnect registers one
 // cycle; register-file FIFOs their depth. inputs[name][t] is the value
 // of the named input at cycle t (held at its last value afterwards).
-// The result maps each output name to its per-cycle trace.
-func Simulate(m *rewrite.Mapped, peLatency int, inputs map[string][]uint16, cycles int) (map[string][]uint16, error) {
+// The result maps each output name to its per-cycle trace. Cancellation
+// of ctx aborts between cycles with fault.ErrCanceled.
+func Simulate(ctx context.Context, m *rewrite.Mapped, peLatency int, inputs map[string][]uint16, cycles int) (map[string][]uint16, error) {
 	type delayLine struct {
 		buf []uint16
 	}
@@ -56,6 +59,11 @@ func Simulate(m *rewrite.Mapped, peLatency int, inputs map[string][]uint16, cycl
 		return stream[t]
 	}
 	for t := 0; t < cycles; t++ {
+		if t&255 == 0 {
+			if err := fault.Canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		for _, i := range order {
 			n := &m.Nodes[i]
 			var comb uint16

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestEvaluateConcurrentMixedOptions(t *testing.T) {
 	want := map[int]*Result{}
 	for _, v := range variants {
 		for _, opt := range options {
-			r, err := fw.Evaluate(app, v, opt)
+			r, err := fw.Evaluate(context.Background(), app, v, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -54,7 +55,7 @@ func TestEvaluateConcurrentMixedOptions(t *testing.T) {
 			defer wg.Done()
 			for c := 0; c < len(cells)*2; c++ {
 				i := (g + c) % len(cells)
-				r, err := fw.Evaluate(app, cells[i].v, cells[i].opt)
+				r, err := fw.Evaluate(context.Background(), app, cells[i].v, cells[i].opt)
 				if err != nil {
 					t.Errorf("goroutine %d cell %d: %v", g, i, err)
 					return

@@ -10,7 +10,7 @@
 //	app := apps.Camera()
 //	ranked := fw.Analyze(app)
 //	variant, _ := fw.GeneratePE("camera_pe2", app.UsedOps(), ranked[:1])
-//	result, _ := fw.Evaluate(app, variant, core.FullEval)
+//	result, _ := fw.Evaluate(ctx, app, variant, core.FullEval)
 package core
 
 import (

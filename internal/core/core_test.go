@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := fw.Evaluate(app, pe1, PostMapping)
+	r1, err := fw.Evaluate(context.Background(), app, pe1, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := fw.Evaluate(app, pe2, PostMapping)
+	r2, err := fw.Evaluate(context.Background(), app, pe2, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestEvaluateBaselineCameraMatchesTable3(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Camera()
-	r, err := fw.Evaluate(app, base, PostMapping)
+	r, err := fw.Evaluate(context.Background(), app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestEvaluateFullPnRSmallApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Gaussian()
-	r, err := fw.Evaluate(app, base, FullEval)
+	r, err := fw.Evaluate(context.Background(), app, base, FullEval)
 	if err != nil {
 		t.Fatal(err)
 	}

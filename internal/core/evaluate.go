@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
+	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
 	"repro/internal/tech"
@@ -26,6 +29,24 @@ type EvalOptions struct {
 	// results (Fig. 16), where combinational paths chain through
 	// consecutive PEs and routes.
 	Pipelined bool
+	// Hook, when non-nil, is called at the entry of each pipeline stage
+	// ("map", "balance", "place", "route") with the stage name. A non-nil
+	// return aborts the stage with that error; a panic inside the hook
+	// propagates like a panic inside the stage itself. Its purpose is
+	// deterministic fault injection in tests (see eval.FaultPlan); it must
+	// be safe for concurrent use.
+	Hook StageHook
+}
+
+// StageHook observes or sabotages pipeline stages; see EvalOptions.Hook.
+type StageHook func(stage string) error
+
+// hook runs the stage hook if one is installed.
+func (o EvalOptions) hook(stage string) error {
+	if o.Hook == nil {
+		return nil
+	}
+	return o.Hook(stage)
 }
 
 // FullEval evaluates with place-and-route and application pipelining —
@@ -81,13 +102,54 @@ type Result struct {
 	Mapped   *rewrite.Mapped
 	Balanced *rewrite.Mapped
 	Routing  *cgra.Routing
+
+	// Degraded is set when a PnR evaluation fell back to the analytical
+	// post-mapping estimate after the retry ladder was exhausted (routing
+	// never converged) or the design could not fit the fabric. The metric
+	// fields are then the same estimates a PnR:false evaluation produces;
+	// DegradedReason says why and PnRAttempts how many placement/routing
+	// attempts ran before degrading (also set on success).
+	Degraded       bool
+	DegradedReason string
+	PnRAttempts    int
+}
+
+// pnrLadder is the retry-with-fallback schedule for place-and-route: on
+// routing non-convergence the placement is reseeded (a different anneal
+// trajectory frees different tracks) and the router's iteration budget is
+// escalated. Exhausting the ladder degrades to the analytical estimate
+// rather than failing the evaluation.
+var pnrLadder = []struct {
+	SeedOffset int64
+	RouteIters int // 0 = router default (24)
+}{
+	{0, 0},
+	{1, 48},
+	{2, 96},
 }
 
 // Evaluate runs the full backend for one (application, PE variant) pair:
 // instruction selection, branch-delay matching with register-file
 // substitution, placement, routing, and metric roll-ups. It is safe to
 // call concurrently, including for the same pair with different options.
-func (f *Framework) Evaluate(app *apps.App, v *PEVariant, opt EvalOptions) (*Result, error) {
+//
+// Place-and-route is fault tolerant: routing non-convergence walks the
+// pnrLadder (reseed placement, escalate router iterations), and when the
+// ladder is exhausted — or the design cannot fit the fabric at all
+// (fault.ErrCapacity) — the evaluation degrades to the analytical
+// post-mapping estimate with Result.Degraded set instead of failing.
+// Cancellation (fault.ErrCanceled) is never retried and never degraded; it
+// propagates so callers can distinguish "gave up" from "was told to stop".
+func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, opt EvalOptions) (*Result, error) {
+	if err := fault.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	if err := app.Graph.Err(); err != nil {
+		return nil, fmt.Errorf("core: app %s is malformed: %w", app.Name, err)
+	}
+	if err := opt.hook("map"); err != nil {
+		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
+	}
 	mapped, err := rewrite.MapApp(app.Graph, v.Rules, app.Name+"@"+v.Name)
 	if err != nil {
 		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
@@ -98,6 +160,9 @@ func (f *Framework) Evaluate(app *apps.App, v *PEVariant, opt EvalOptions) (*Res
 		if peLat < 1 {
 			peLat = 1 // every PE output is registered in the fabric
 		}
+	}
+	if err := opt.hook("balance"); err != nil {
+		return nil, fmt.Errorf("core: balance %s on %s: %w", app.Name, v.Name, err)
 	}
 	balanced, report := pipeline.BalanceApp(mapped, pipeline.AppOptions{PELatency: peLat})
 
@@ -116,20 +181,69 @@ func (f *Framework) Evaluate(app *apps.App, v *PEVariant, opt EvalOptions) (*Res
 	}
 
 	if opt.PnR {
-		placed, err := cgra.Place(balanced, f.Fabric, cgra.PlaceOptions{Seed: f.PlaceSeed, Moves: f.PlaceMoves})
-		if err != nil {
-			return nil, fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
+		if err := f.placeAndRoute(ctx, app, v, balanced, opt, r); err != nil {
+			return nil, err
 		}
-		routing, err := cgra.RouteAll(placed, cgra.RouteOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
-		}
-		r.Routing = routing
-		r.RoutingTiles = routing.RoutingOnlyTiles()
 	}
 
 	f.fillMetrics(app, v, r, opt)
+	if err := f.Tech.Err(); err != nil {
+		return nil, fmt.Errorf("core: evaluate %s on %s: %w", app.Name, v.Name, err)
+	}
 	return r, nil
+}
+
+// placeAndRoute walks the retry ladder and fills the routing fields of r,
+// degrading to the analytical estimate (Routing left nil, Degraded set)
+// when PnR cannot complete for a reason retrying will not fix.
+func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVariant, balanced *rewrite.Mapped, opt EvalOptions, r *Result) error {
+	degrade := func(reason error) {
+		r.Degraded = true
+		r.DegradedReason = reason.Error()
+		r.Routing = nil
+		r.RoutingTiles = 0
+	}
+	var lastErr error
+	for _, rung := range pnrLadder {
+		r.PnRAttempts++
+		if err := opt.hook("place"); err != nil {
+			return fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
+		}
+		placed, err := cgra.Place(ctx, balanced, f.Fabric, cgra.PlaceOptions{
+			Seed:  f.PlaceSeed + rung.SeedOffset,
+			Moves: f.PlaceMoves,
+		})
+		if err != nil {
+			if errors.Is(err, fault.ErrCapacity) {
+				// The design does not fit this fabric; reseeding cannot help.
+				degrade(err)
+				return nil
+			}
+			return fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
+		}
+		if err := opt.hook("route"); err != nil {
+			if errors.Is(err, fault.ErrNonConvergence) {
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
+		}
+		routing, err := cgra.RouteAll(ctx, placed, cgra.RouteOptions{MaxIterations: rung.RouteIters})
+		if err == nil {
+			r.Routing = routing
+			r.RoutingTiles = routing.RoutingOnlyTiles()
+			return nil
+		}
+		if errors.Is(err, fault.ErrCanceled) {
+			return err
+		}
+		if !errors.Is(err, fault.ErrNonConvergence) {
+			return fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
+		}
+		lastErr = err
+	}
+	degrade(fmt.Errorf("routing failed after %d attempts: %w", r.PnRAttempts, lastErr))
+	return nil
 }
 
 // fillMetrics computes the area/energy/performance roll-ups.

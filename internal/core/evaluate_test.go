@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -13,7 +14,7 @@ func TestPeriodClampedToFabricClock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fw.Evaluate(apps.Gaussian(), base, PostMapping)
+	r, err := fw.Evaluate(context.Background(), apps.Gaussian(), base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,11 +31,11 @@ func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Unsharp() // longest combinational chains in the suite
-	pre, err := fw.Evaluate(app, base, EvalOptions{Pipelined: false})
+	pre, err := fw.Evaluate(context.Background(), app, base, EvalOptions{Pipelined: false})
 	if err != nil {
 		t.Fatal(err)
 	}
-	post, err := fw.Evaluate(app, base, PostMapping)
+	post, err := fw.Evaluate(context.Background(), app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, a := range []*apps.App{apps.Camera(), apps.ResNet()} {
-		r, err := fw.Evaluate(a, base, PostMapping)
+		r, err := fw.Evaluate(context.Background(), a, base, PostMapping)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestAreaBreakdownSumsToTotal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fw.Evaluate(apps.Harris(), base, PostMapping)
+	r, err := fw.Evaluate(context.Background(), apps.Harris(), base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestPnRRefinesRoutingMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Laplacian() // small, quick to place and route
-	fast, err := fw.Evaluate(app, base, PostMapping)
+	fast, err := fw.Evaluate(context.Background(), app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := fw.Evaluate(app, base, FullEval)
+	full, err := fw.Evaluate(context.Background(), app, base, FullEval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestBaselineEnergyUsesBaselineModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := apps.Gaussian()
-	r, err := fw.Evaluate(app, base, PostMapping)
+	r, err := fw.Evaluate(context.Background(), app, base, PostMapping)
 	if err != nil {
 		t.Fatal(err)
 	}

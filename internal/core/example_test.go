@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -21,7 +22,7 @@ func Example() {
 		panic(err)
 	}
 	// Post-mapping level for a fast example.
-	result, err := fw.Evaluate(app, variant, core.PostMapping)
+	result, err := fw.Evaluate(context.Background(), app, variant, core.PostMapping)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+)
+
+// trackless returns a framework whose fabric has no routing tracks at
+// all: every placement is over-subscribed by construction, so routing
+// can never converge no matter how often the ladder reseeds — the
+// deterministic way to drive every rung to non-convergence.
+func trackless() *Framework {
+	fw := New()
+	f := *fw.Fabric
+	f.Tracks16 = 0
+	f.Tracks1 = 0
+	fw.Fabric = &f
+	return fw
+}
+
+// TestPnRDegradesOnUnroutableFabric drives the reseed→escalate ladder to
+// exhaustion on an unroutable fabric and checks the evaluation degrades
+// to the analytical estimate instead of failing: Degraded set, every
+// rung attempted, and the metrics byte-identical to a PnR-off run.
+func TestPnRDegradesOnUnroutableFabric(t *testing.T) {
+	fw := trackless()
+	app := apps.Camera()
+	v, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fw.Evaluate(context.Background(), app, v, FullEval)
+	if err != nil {
+		t.Fatalf("degraded evaluation must not error: %v", err)
+	}
+	if !r.Degraded {
+		t.Fatal("expected Degraded on an unroutable fabric")
+	}
+	if want := len(pnrLadder); r.PnRAttempts != want {
+		t.Errorf("PnRAttempts = %d, want %d (every ladder rung)", r.PnRAttempts, want)
+	}
+	if r.Routing != nil || r.RoutingTiles != 0 {
+		t.Error("degraded result must not carry routing artifacts")
+	}
+	if !strings.Contains(r.DegradedReason, "routing failed after") {
+		t.Errorf("DegradedReason = %q, want the ladder-exhausted message", r.DegradedReason)
+	}
+
+	est, err := fw.Evaluate(context.Background(), app, v, PostMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalArea != est.TotalArea || r.TotalEnergy != est.TotalEnergy ||
+		r.RuntimeMS != est.RuntimeMS || r.PerfPerMM2 != est.PerfPerMM2 {
+		t.Errorf("degraded metrics differ from the analytical estimate:\ndegraded: area=%v energy=%v runtime=%v\nestimate: area=%v energy=%v runtime=%v",
+			r.TotalArea, r.TotalEnergy, r.RuntimeMS, est.TotalArea, est.TotalEnergy, est.RuntimeMS)
+	}
+
+	// Degradation is deterministic: a second run reports the same thing.
+	r2, err := fw.Evaluate(context.Background(), app, v, FullEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.DegradedReason != r.DegradedReason || r2.TotalArea != r.TotalArea {
+		t.Error("degraded evaluation is not deterministic across runs")
+	}
+}
+
+// TestPnRLadderRetriesThenSucceeds injects non-convergence into the
+// first two route attempts via the stage hook and checks the third rung
+// completes normally: retried, converged, not degraded.
+func TestPnRLadderRetriesThenSucceeds(t *testing.T) {
+	fw := New()
+	app := apps.Camera()
+	v, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fails := 0
+	opt := FullEval
+	opt.Hook = func(stage string) error {
+		if stage != "route" {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if fails < 2 {
+			fails++
+			return fault.NonConvergencef("injected non-convergence %d", fails)
+		}
+		return nil
+	}
+	r, err := fw.Evaluate(context.Background(), app, v, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded {
+		t.Fatalf("ladder should have recovered, but degraded: %s", r.DegradedReason)
+	}
+	if r.PnRAttempts != 3 {
+		t.Errorf("PnRAttempts = %d, want 3 (two injected failures + success)", r.PnRAttempts)
+	}
+	if r.Routing == nil {
+		t.Fatal("recovered evaluation must carry a routing")
+	}
+
+	// The recovered run's mapping-level metrics match a clean run's:
+	// the ladder only perturbs the placement seed and router budget.
+	clean, err := New().Evaluate(context.Background(), app, v, FullEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPEs != clean.NumPEs || r.LatencyCyc != clean.LatencyCyc {
+		t.Errorf("mapping-level metrics changed under retry: PEs %d vs %d", r.NumPEs, clean.NumPEs)
+	}
+}
+
+// TestEvaluateCancellation checks cancellation propagates as a typed
+// ErrCanceled — never retried, never degraded — both when the context is
+// dead on entry and when it dies mid-place-and-route.
+func TestEvaluateCancellation(t *testing.T) {
+	fw := New()
+	app := apps.Camera()
+	v, err := fw.BaselinePE()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := fw.Evaluate(pre, app, v, FullEval); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("dead-on-entry: err = %v, want ErrCanceled", err)
+	}
+
+	mid, midCancel := context.WithCancel(context.Background())
+	defer midCancel()
+	opt := FullEval
+	opt.Hook = func(stage string) error {
+		if stage == "place" {
+			midCancel()
+		}
+		return nil
+	}
+	if _, err := fw.Evaluate(mid, app, v, opt); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("mid-run: err = %v, want ErrCanceled", err)
+	}
+}

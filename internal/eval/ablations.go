@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -14,7 +15,7 @@ import (
 // Ablations runs the design-choice studies DESIGN.md Section 4 calls out
 // and reports them as one table (the benchmark harness runs the same
 // studies with timings).
-func (h *Harness) Ablations() (*Table, error) {
+func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "Ablations",
 		Title:   "Design-choice studies (DESIGN.md Section 4)",
@@ -43,7 +44,7 @@ func (h *Harness) Ablations() (*Table, error) {
 			return h.FW.GeneratePE("abl_freq", app.UsedOps(), byFreq[pick:pick+1])
 		})
 	}
-	if err := h.prefetch([]evalCell{
+	if err := h.prefetch(ctx, []evalCell{
 		{app, misVariant, false, true},
 		{app, freqVariant, false, true},
 		{apps.ResNet(), h.Baseline, false, true},
@@ -54,7 +55,7 @@ func (h *Harness) Ablations() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rMIS, err := h.Evaluate(app, vMIS, false, true)
+	rMIS, err := h.Evaluate(ctx, app, vMIS, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +63,7 @@ func (h *Harness) Ablations() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rFreq, err := h.Evaluate(app, vFreq, false, true)
+	rFreq, err := h.Evaluate(ctx, app, vFreq, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +78,7 @@ func (h *Harness) Ablations() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rb, err := h.Evaluate(apps.ResNet(), base, false, true)
+	rb, err := h.Evaluate(ctx, apps.ResNet(), base, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +92,7 @@ func (h *Harness) Ablations() (*Table, error) {
 			return nil
 		}
 	}
-	if err := h.parallel(jobs); err != nil {
+	if err := h.parallel(ctx, jobs); err != nil {
 		return nil, err
 	}
 	for i, cutoff := range cutoffs {

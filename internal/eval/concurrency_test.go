@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,7 +32,7 @@ func TestMemoTableExactlyOnce(t *testing.T) {
 			defer wg.Done()
 			for c := 0; c < callsEach; c++ {
 				k := (g + c) % keys
-				v, err := table.do(fmt.Sprintf("key%d", k), func() (int, error) {
+				v, err := table.do(context.Background(), fmt.Sprintf("key%d", k), func() (int, error) {
 					builds[k].Add(1)
 					return 1000 + k, nil
 				})
@@ -68,10 +69,10 @@ func TestMemoTableCachesErrors(t *testing.T) {
 		builds.Add(1)
 		return 0, sentinel
 	}
-	if _, err := table.do("k", build); !errors.Is(err, sentinel) {
+	if _, err := table.do(context.Background(), "k", build); !errors.Is(err, sentinel) {
 		t.Fatalf("first call err = %v", err)
 	}
-	if _, err := table.do("k", build); !errors.Is(err, sentinel) {
+	if _, err := table.do(context.Background(), "k", build); !errors.Is(err, sentinel) {
 		t.Fatalf("second call err = %v", err)
 	}
 	if n := builds.Load(); n != 1 {
@@ -121,7 +122,7 @@ func TestHarnessHammer(t *testing.T) {
 				}
 				check(t, "variant", vApp.Name, v)
 
-				r, err := h.Evaluate(vApp, v, false, true)
+				r, err := h.Evaluate(context.Background(), vApp, v, false, true)
 				if err != nil {
 					t.Errorf("evaluate %s: %v", vApp.Name, err)
 					return
@@ -156,15 +157,15 @@ func TestFailedEvaluationDoesNotPoisonLaterResults(t *testing.T) {
 	g := ir.NewGraph("needs_mul")
 	g.Output("o", g.OpNode(ir.OpMul, g.Input("a"), g.Input("b")))
 	bad := &apps.App{Name: "needs_mul", Graph: g, Unroll: 1, TotalOutputs: 1}
-	if _, err := h.Evaluate(bad, nomul, true, true); err == nil {
+	if _, err := h.Evaluate(context.Background(), bad, nomul, true, true); err == nil {
 		t.Fatal("expected the unmappable evaluation to fail")
 	}
 
-	after, _, err := h.CameraLadder(false)
+	after, _, err := h.CameraLadder(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, _, err := fastHarness().CameraLadder(false)
+	fresh, _, err := fastHarness().CameraLadder(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,13 +181,13 @@ func TestFailedEvaluationDoesNotPoisonLaterResults(t *testing.T) {
 func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
 	serial := fastHarness()
 	serial.Workers = 1
-	st, err := serial.Suite(false)
+	st, err := serial.Suite(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := fastHarness()
 	par.Workers = 8
-	pt, err := par.Suite(false)
+	pt, err := par.Suite(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func TestFig5SharesAddersAndConst(t *testing.T) {
 
 func TestCameraLadderShapes(t *testing.T) {
 	h := fastHarness()
-	_, rungs, err := h.CameraLadder(false)
+	_, rungs, err := h.CameraLadder(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestCameraLadderShapes(t *testing.T) {
 
 func TestFig12OverMergingGrowsThePE(t *testing.T) {
 	h := fastHarness()
-	_, results, err := h.Fig12()
+	_, results, err := h.Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFig12OverMergingGrowsThePE(t *testing.T) {
 
 func TestFig13UnseenAppsStillBenefit(t *testing.T) {
 	h := fastHarness()
-	_, results, err := h.Fig13()
+	_, results, err := h.Fig13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestFig13UnseenAppsStillBenefit(t *testing.T) {
 
 func TestFig14DomainAndSpecWin(t *testing.T) {
 	h := fastHarness()
-	_, results, err := h.Fig14()
+	_, results, err := h.Fig14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFig14DomainAndSpecWin(t *testing.T) {
 
 func TestFig17OrderingHolds(t *testing.T) {
 	h := fastHarness()
-	tab, err := h.Fig17(false)
+	tab, err := h.Fig17(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig17OrderingHolds(t *testing.T) {
 
 func TestFig18SimbaMoreEfficient(t *testing.T) {
 	h := fastHarness()
-	tab, err := h.Fig18(false)
+	tab, err := h.Fig18(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

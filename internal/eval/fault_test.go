@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+)
+
+// The fault-injection layer: every failure mode the pipeline can hit —
+// a panicking cell, routing that refuses to converge, a cell blowing
+// its deadline, the whole run being canceled — must surface as that
+// cell's typed error (or a marked degradation) while every unaffected
+// cell completes byte-identically to a clean run. Run these under
+// -race: the FaultPlan budget, the Report, and the memo recover
+// boundary are all exercised concurrently.
+
+// cleanSuite runs a fresh fast suite with no faults and returns the
+// tables keyed by ID.
+func cleanSuite(t *testing.T) map[string]string {
+	t.Helper()
+	h := fastHarness()
+	tables, err := h.Suite(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Report.ExitCode() != 0 {
+		t.Fatalf("clean run must suggest exit 0, got %d (report: %+v)", h.Report.ExitCode(), h.Report.Snapshot())
+	}
+	out := map[string]string{}
+	for _, tb := range tables {
+		out[tb.ID] = tb.Markdown()
+	}
+	return out
+}
+
+// TestKeepGoingIsolatesInjectedPanic poisons one evaluation cell with a
+// panic and runs the whole suite with -keep-going semantics: the run
+// completes, the poisoned cell is reported as failed, the tables that
+// don't depend on it come out byte-identical to a clean run, and the
+// suggested exit code is 2.
+func TestKeepGoingIsolatesInjectedPanic(t *testing.T) {
+	clean := cleanSuite(t)
+
+	h := fastHarness()
+	h.Workers = 4
+	h.KeepGoing = true
+	h.Faults = (&FaultPlan{}).Inject(FaultSpec{
+		Stage: "evaluate", Cell: "camera|camera_pe3", Kind: FaultPanic,
+	})
+	tables, err := h.Suite(context.Background(), false)
+	if err != nil {
+		t.Fatalf("keep-going suite must not abort on a per-cell panic: %v", err)
+	}
+
+	if len(tables) >= len(clean) {
+		t.Errorf("expected at least one poisoned table to be skipped: got %d of %d", len(tables), len(clean))
+	}
+	for _, tb := range tables {
+		want, ok := clean[tb.ID]
+		if !ok {
+			t.Errorf("unexpected table %q not present in the clean run", tb.ID)
+			continue
+		}
+		if tb.Markdown() != want {
+			t.Errorf("%s differs from the clean run under an unrelated injected panic:\nfaulted:\n%s\nclean:\n%s",
+				tb.ID, tb.Markdown(), want)
+		}
+	}
+
+	snap := h.Report.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("report is empty; the panicking cell was not recorded")
+	}
+	found := false
+	for _, f := range snap {
+		if strings.HasPrefix(f.Cell, "camera|camera_pe3|") {
+			found = true
+			if f.Kind != "failed" {
+				t.Errorf("panicking cell kind = %q, want failed", f.Kind)
+			}
+			if !strings.Contains(f.Err, "panic") || !strings.Contains(f.Err, "injected") {
+				t.Errorf("panicking cell error %q should name the panic and the injection", f.Err)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("camera|camera_pe3 missing from report: %+v", snap)
+	}
+	if !h.Report.HasFailures() {
+		t.Error("HasFailures() = false after a failed cell")
+	}
+	if h.Report.ExitCode() != 2 {
+		t.Errorf("ExitCode() = %d, want 2", h.Report.ExitCode())
+	}
+	if h.Report.Table() == nil {
+		t.Error("Report.Table() = nil with recorded failures")
+	}
+}
+
+// TestRouteFaultWalksLadder injects routing non-convergence with a
+// budget of two firings: the retry ladder's first two rungs fail, the
+// third succeeds, and nothing is reported.
+func TestRouteFaultWalksLadder(t *testing.T) {
+	h := NewHarness()
+	h.Faults = (&FaultPlan{}).Inject(FaultSpec{
+		Stage: "route", Cell: "camera|baseline", Kind: FaultError,
+		Err: fault.NonConvergencef("injected routing non-convergence"), Times: 2,
+	})
+	v, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Evaluate(context.Background(), apps.Camera(), v, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded {
+		t.Fatalf("ladder should have recovered on attempt 3, but degraded: %s", r.DegradedReason)
+	}
+	if r.PnRAttempts != 3 {
+		t.Errorf("PnRAttempts = %d, want 3", r.PnRAttempts)
+	}
+	if r.Routing == nil {
+		t.Error("recovered cell must carry a routing")
+	}
+	if n := h.Report.Len(); n != 0 {
+		t.Errorf("recovered cell must not be reported; report has %d entries", n)
+	}
+}
+
+// TestRouteFaultExhaustsLadderAndDegrades injects unbounded routing
+// non-convergence: the cell degrades to the analytical estimate, is
+// reported as degraded (not failed), and flips the exit code to 2.
+func TestRouteFaultExhaustsLadderAndDegrades(t *testing.T) {
+	h := NewHarness()
+	h.Faults = (&FaultPlan{}).Inject(FaultSpec{
+		Stage: "route", Cell: "camera|baseline", Kind: FaultError,
+		Err: fault.NonConvergencef("injected routing non-convergence"),
+	})
+	v, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Evaluate(context.Background(), apps.Camera(), v, true, true)
+	if err != nil {
+		t.Fatalf("degraded cell must not error: %v", err)
+	}
+	if !r.Degraded {
+		t.Fatal("expected Degraded after ladder exhaustion")
+	}
+	snap := h.Report.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "degraded" {
+		t.Fatalf("report = %+v, want one degraded entry", snap)
+	}
+	if h.Report.HasFailures() {
+		t.Error("a degradation is not a failure")
+	}
+	if h.Report.ExitCode() != 2 {
+		t.Errorf("ExitCode() = %d, want 2 for a degraded run", h.Report.ExitCode())
+	}
+}
+
+// TestCellTimeoutIsPerCell stalls one cell past its deadline and checks
+// it fails with the typed cancellation error while other cells of the
+// same harness still evaluate normally.
+func TestCellTimeoutIsPerCell(t *testing.T) {
+	h := fastHarness()
+	h.KeepGoing = true
+	h.CellTimeout = 30 * time.Millisecond
+	h.Faults = (&FaultPlan{}).Inject(FaultSpec{
+		Stage: "evaluate", Cell: "camera|camera_pe2", Kind: FaultDelay, Delay: 300 * time.Millisecond,
+	})
+
+	app := apps.Camera()
+	slow, err := h.LadderPE(app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Evaluate(context.Background(), app, slow, false, true); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("stalled cell err = %v, want ErrCanceled", err)
+	}
+	snap := h.Report.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "canceled" {
+		t.Fatalf("report = %+v, want one canceled entry", snap)
+	}
+
+	// The deadline was the cell's, not the run's: a fresh cell works.
+	base, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Evaluate(context.Background(), app, base, false, true); err != nil {
+		t.Fatalf("unaffected cell failed after a sibling timeout: %v", err)
+	}
+}
+
+// TestMidRunCancellationAborts cancels the run's context from inside the
+// first evaluated cell: even under KeepGoing the suite must stop with
+// the typed cancellation error rather than grind through dead cells.
+func TestMidRunCancellationAborts(t *testing.T) {
+	h := fastHarness()
+	h.KeepGoing = true
+	h.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Faults = (&FaultPlan{}).Inject(FaultSpec{
+		Stage: "evaluate", Kind: FaultHook, Times: 1,
+		Hook: func(stage, cell string) error {
+			cancel()
+			return nil
+		},
+	})
+	if _, err := h.Suite(ctx, false); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("Suite err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestFaultPlanBudgetIsExact fires a Times-bounded fault from many
+// goroutines and checks the budget is honored exactly (run under -race).
+func TestFaultPlanBudgetIsExact(t *testing.T) {
+	p := (&FaultPlan{}).Inject(FaultSpec{Kind: FaultError, Times: 7})
+	const calls = 200
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() { errs <- p.fire("evaluate", "x|y") }()
+	}
+	fired := 0
+	for i := 0; i < calls; i++ {
+		if err := <-errs; err != nil {
+			fired++
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Errorf("injected error = %v, want ErrInjected", err)
+			}
+		}
+	}
+	if fired != 7 {
+		t.Errorf("fault fired %d times, want exactly 7", fired)
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accel"
@@ -149,7 +150,7 @@ type LadderResult struct {
 // reproducing Fig. 11 (PE core area and energy) and Table 2 (#PEs,
 // area/PE, total area, frames/ms/mm^2). pnr enables full place-and-route
 // (required for faithful Table 2 performance).
-func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
+func (h *Harness) CameraLadder(ctx context.Context, pnr bool) (*Table, []LadderResult, error) {
 	app := apps.Camera()
 	cells := []evalCell{{app, h.Baseline, pnr, true}}
 	for k := 1; k <= 4; k++ {
@@ -158,7 +159,7 @@ func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
 			return h.LadderPE(app, k)
 		}, pnr, true})
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, nil, err
 	}
 	var variants []*core.PEVariant
@@ -184,7 +185,7 @@ func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
 	var out []LadderResult
 	frame := float64(app.TotalOutputs)
 	for i, v := range variants {
-		r, err := h.Evaluate(app, v, pnr, true)
+		r, err := h.Evaluate(ctx, app, v, pnr, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -220,7 +221,7 @@ func (h *Harness) CameraLadder(pnr bool) (*Table, []LadderResult, error) {
 
 // Fig12 compares PE IP, PE IP2, and PE IP3 across the analyzed image
 // apps: merging too many subgraphs (IP2) or merging unevenly (IP3) hurts.
-func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
+func (h *Harness) Fig12(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
 	var cells []evalCell
 	for _, a := range apps.AnalyzedIP() {
 		cells = append(cells,
@@ -230,7 +231,7 @@ func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
 			evalCell{a, h.PEIP3, false, true},
 		)
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, nil, err
 	}
 	ip, err := h.PEIP()
@@ -257,13 +258,13 @@ func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
 	results := map[string]map[string]*core.Result{}
 	for _, a := range apps.AnalyzedIP() {
 		results[a.Name] = map[string]*core.Result{}
-		rb, err := h.Evaluate(a, base, false, true)
+		rb, err := h.Evaluate(ctx, a, base, false, true)
 		if err != nil {
 			return nil, nil, err
 		}
 		results[a.Name]["base"] = rb
 		for _, v := range []*core.PEVariant{ip, ip2, ip3} {
-			r, err := h.Evaluate(a, v, false, true)
+			r, err := h.Evaluate(ctx, a, v, false, true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -284,7 +285,7 @@ func (h *Harness) Fig12() (*Table, map[string]map[string]*core.Result, error) {
 // Fig13 runs the three applications not analyzed during PE generation on
 // the baseline and on PE IP: the domain PE must still win (the paper:
 // 12-25% area, 66-78% energy reduction).
-func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
+func (h *Harness) Fig13(ctx context.Context) (*Table, map[string][2]*core.Result, error) {
 	var cells []evalCell
 	for _, a := range apps.UnseenIP() {
 		cells = append(cells,
@@ -292,7 +293,7 @@ func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
 			evalCell{a, h.PEIP, false, true},
 		)
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, nil, err
 	}
 	ip, err := h.PEIP()
@@ -310,11 +311,11 @@ func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
 	}
 	results := map[string][2]*core.Result{}
 	for _, a := range apps.UnseenIP() {
-		rb, err := h.Evaluate(a, base, false, true)
+		rb, err := h.Evaluate(ctx, a, base, false, true)
 		if err != nil {
 			return nil, nil, err
 		}
-		ri, err := h.Evaluate(a, ip, false, true)
+		ri, err := h.Evaluate(ctx, a, ip, false, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -335,8 +336,8 @@ func (h *Harness) Fig13() (*Table, map[string][2]*core.Result, error) {
 // Fig14 compares the baseline, the domain PE (IP or ML), and the
 // per-application specialized PE at the post-mapping level (PE
 // contributions only).
-func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
-	if err := h.prefetch(h.domainSpecCells(false)); err != nil {
+func (h *Harness) Fig14(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	if err := h.prefetch(ctx, h.domainSpecCells(false)); err != nil {
 		return nil, nil, err
 	}
 	base, err := h.Baseline()
@@ -361,7 +362,7 @@ func (h *Harness) Fig14() (*Table, map[string]map[string]*core.Result, error) {
 		results[a.Name] = map[string]*core.Result{}
 		var rb *core.Result
 		for _, v := range []*core.PEVariant{base, domain, spec} {
-			r, err := h.Evaluate(a, v, false, true)
+			r, err := h.Evaluate(ctx, a, v, false, true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -398,8 +399,8 @@ func (h *Harness) domainSpecCells(pnr bool) []evalCell {
 
 // Fig15 repeats Fig. 14 with full place-and-route: total CGRA area and
 // energy including switch boxes, connection boxes, and memories.
-func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
-	if err := h.prefetch(h.domainSpecCells(true)); err != nil {
+func (h *Harness) Fig15(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	if err := h.prefetch(ctx, h.domainSpecCells(true)); err != nil {
 		return nil, nil, err
 	}
 	base, err := h.Baseline()
@@ -424,7 +425,7 @@ func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
 		results[a.Name] = map[string]*core.Result{}
 		var rb *core.Result
 		for _, v := range []*core.PEVariant{base, domain, spec} {
-			r, err := h.Evaluate(a, v, true, true)
+			r, err := h.Evaluate(ctx, a, v, true, true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -446,7 +447,7 @@ func (h *Harness) Fig15() (*Table, map[string]map[string]*core.Result, error) {
 // ---------------------------------------------------------------------------
 
 // Fig16 reports pre- vs post-pipelining area, energy, and perf/mm^2.
-func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error) {
+func (h *Harness) Fig16(ctx context.Context) (*Table, map[string]map[string][2]*core.Result, error) {
 	var cells []evalCell
 	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
 		a := a
@@ -458,7 +459,7 @@ func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error)
 			)
 		}
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, nil, err
 	}
 	base, err := h.Baseline()
@@ -478,11 +479,11 @@ func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error)
 		}
 		results[a.Name] = map[string][2]*core.Result{}
 		for _, v := range []*core.PEVariant{base, domain} {
-			pre, err := h.Evaluate(a, v, true, false)
+			pre, err := h.Evaluate(ctx, a, v, true, false)
 			if err != nil {
 				return nil, nil, err
 			}
-			post, err := h.Evaluate(a, v, true, true)
+			post, err := h.Evaluate(ctx, a, v, true, true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -502,7 +503,7 @@ func (h *Harness) Fig16() (*Table, map[string]map[string][2]*core.Result, error)
 
 // Table3 reports post-pipelining resource utilization for every
 // (application, PE variant) pair the paper tabulates.
-func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
+func (h *Harness) Table3(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
 	var cells []evalCell
 	allApps := append(apps.AnalyzedIP(), apps.AnalyzedML()...)
 	for _, a := range allApps {
@@ -518,7 +519,7 @@ func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
 	for _, a := range apps.AnalyzedML() {
 		cells = append(cells, evalCell{a, h.PEML, true, true})
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, nil, err
 	}
 	base, err := h.Baseline()
@@ -532,7 +533,7 @@ func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
 	}
 	results := map[string]map[string]*core.Result{}
 	addRow := func(label string, a *apps.App, v *core.PEVariant) error {
-		r, err := h.Evaluate(a, v, true, true)
+		r, err := h.Evaluate(ctx, a, v, true, true)
 		if err != nil {
 			return err
 		}
@@ -587,7 +588,7 @@ func (h *Harness) Table3() (*Table, map[string]map[string]*core.Result, error) {
 
 // Fig17 compares FPGA, baseline CGRA, CGRA-IP, and ASIC on the image
 // applications (energy per output and runtime).
-func (h *Harness) Fig17(pnr bool) (*Table, error) {
+func (h *Harness) Fig17(ctx context.Context, pnr bool) (*Table, error) {
 	var cells []evalCell
 	for _, a := range apps.AnalyzedIP() {
 		cells = append(cells,
@@ -595,7 +596,7 @@ func (h *Harness) Fig17(pnr bool) (*Table, error) {
 			evalCell{a, h.PEIP, pnr, true},
 		)
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, err
 	}
 	base, err := h.Baseline()
@@ -614,11 +615,11 @@ func (h *Harness) Fig17(pnr bool) (*Table, error) {
 	for _, a := range apps.AnalyzedIP() {
 		fpga := accel.FPGA(a, h.FW.Tech)
 		asic := accel.ASIC(a, h.FW.Tech)
-		rb, err := h.Evaluate(a, base, pnr, true)
+		rb, err := h.Evaluate(ctx, a, base, pnr, true)
 		if err != nil {
 			return nil, err
 		}
-		ri, err := h.Evaluate(a, ip, pnr, true)
+		ri, err := h.Evaluate(ctx, a, ip, pnr, true)
 		if err != nil {
 			return nil, err
 		}
@@ -645,7 +646,7 @@ func (h *Harness) Fig17(pnr bool) (*Table, error) {
 
 // Fig18 compares FPGA, baseline CGRA, CGRA-ML, and Simba on the ML
 // applications.
-func (h *Harness) Fig18(pnr bool) (*Table, error) {
+func (h *Harness) Fig18(ctx context.Context, pnr bool) (*Table, error) {
 	var cells []evalCell
 	for _, a := range apps.AnalyzedML() {
 		cells = append(cells,
@@ -653,7 +654,7 @@ func (h *Harness) Fig18(pnr bool) (*Table, error) {
 			evalCell{a, h.PEML, pnr, true},
 		)
 	}
-	if err := h.prefetch(cells); err != nil {
+	if err := h.prefetch(ctx, cells); err != nil {
 		return nil, err
 	}
 	base, err := h.Baseline()
@@ -672,11 +673,11 @@ func (h *Harness) Fig18(pnr bool) (*Table, error) {
 	for _, a := range apps.AnalyzedML() {
 		fpga := accel.FPGA(a, h.FW.Tech)
 		simba := accel.Simba(a, h.FW.Tech)
-		rb, err := h.Evaluate(a, base, pnr, true)
+		rb, err := h.Evaluate(ctx, a, base, pnr, true)
 		if err != nil {
 			return nil, err
 		}
-		rm, err := h.Evaluate(a, ml, pnr, true)
+		rm, err := h.Evaluate(ctx, a, ml, pnr, true)
 		if err != nil {
 			return nil, err
 		}

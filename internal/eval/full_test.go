@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,10 +14,10 @@ func TestFullPnRSuite(t *testing.T) {
 	}
 	h := NewHarness()
 
-	if _, _, err := h.CameraLadder(true); err != nil {
+	if _, _, err := h.CameraLadder(context.Background(), true); err != nil {
 		t.Fatalf("camera ladder: %v", err)
 	}
-	_, f15, err := h.Fig15()
+	_, f15, err := h.Fig15(context.Background())
 	if err != nil {
 		t.Fatalf("fig15: %v", err)
 	}
@@ -34,7 +35,7 @@ func TestFullPnRSuite(t *testing.T) {
 		}
 	}
 
-	_, f16, err := h.Fig16()
+	_, f16, err := h.Fig16(context.Background())
 	if err != nil {
 		t.Fatalf("fig16: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestFullPnRSuite(t *testing.T) {
 		}
 	}
 
-	tab3, t3, err := h.Table3()
+	tab3, t3, err := h.Table3(context.Background())
 	if err != nil {
 		t.Fatalf("table3: %v", err)
 	}
@@ -82,10 +83,10 @@ func TestFullPnRSuite(t *testing.T) {
 		t.Error("table3 rendering broken")
 	}
 
-	if _, err := h.Fig17(true); err != nil {
+	if _, err := h.Fig17(context.Background(), true); err != nil {
 		t.Fatalf("fig17: %v", err)
 	}
-	if _, err := h.Fig18(true); err != nil {
+	if _, err := h.Fig18(context.Background(), true); err != nil {
 		t.Fatalf("fig18: %v", err)
 	}
 }

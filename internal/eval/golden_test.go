@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func goldenName(id string) string {
 //
 //	go test ./internal/eval -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {
-	tables, err := fastHarness().Suite(false)
+	tables, err := fastHarness().Suite(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,14 +9,17 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/rewrite"
 )
@@ -38,6 +41,23 @@ type Harness struct {
 	// a figure driver fans out. 0 means GOMAXPROCS; 1 reproduces the
 	// fully serial behaviour.
 	Workers int
+	// KeepGoing makes fan-outs run every cell even after failures: a
+	// failing cell is recorded in Report instead of aborting the batch,
+	// drivers whose cells all succeeded assemble their tables exactly as
+	// in a clean run, and Suite skips (rather than fails on) tables with
+	// poisoned cells. Cancellation of the run's context still aborts.
+	KeepGoing bool
+	// CellTimeout bounds each evaluation cell's wall-clock time; 0 means
+	// no per-cell deadline. A cell exceeding it fails with
+	// fault.ErrCanceled (wrapping context.DeadlineExceeded) without
+	// affecting other cells.
+	CellTimeout time.Duration
+	// Faults is the deterministic fault-injection plan for tests; nil
+	// injects nothing.
+	Faults *FaultPlan
+	// Report collects per-cell failures and degradations (always, not
+	// only under KeepGoing).
+	Report *Report
 
 	analyses *memoTable[*core.Analysis]
 	variants *memoTable[*core.PEVariant]
@@ -48,15 +68,19 @@ type Harness struct {
 func NewHarness() *Harness {
 	return &Harness{
 		FW:       core.New(),
+		Report:   &Report{},
 		analyses: newMemoTable[*core.Analysis](),
 		variants: newMemoTable[*core.PEVariant](),
 		results:  newMemoTable[*core.Result](),
 	}
 }
 
-// Analysis returns the mined analysis of an application, cached.
+// Analysis returns the mined analysis of an application, cached. Analyses
+// and variant builds are pure CPU-bound front-end work shared by many
+// cells, so they run to completion regardless of any one cell's deadline
+// (the memo wait uses a background context).
 func (h *Harness) Analysis(app *apps.App) *core.Analysis {
-	a, _ := h.analyses.do(app.Name, func() (*core.Analysis, error) {
+	a, _ := h.analyses.do(context.Background(), app.Name, func() (*core.Analysis, error) {
 		return h.FW.Analyze(app), nil
 	})
 	return a
@@ -64,7 +88,7 @@ func (h *Harness) Analysis(app *apps.App) *core.Analysis {
 
 // Variant builds (or returns cached) a named PE variant.
 func (h *Harness) Variant(name string, build func() (*core.PEVariant, error)) (*core.PEVariant, error) {
-	v, err := h.variants.do(name, build)
+	v, err := h.variants.do(context.Background(), name, build)
 	if err != nil {
 		return nil, fmt.Errorf("eval: variant %s: %w", name, err)
 	}
@@ -153,14 +177,41 @@ func (h *Harness) PEML() (*core.PEVariant, error) {
 // travel to the framework as explicit core.EvalOptions, so concurrent
 // evaluations cannot interfere and a failing evaluation leaves no state
 // behind that could change later results.
-func (h *Harness) Evaluate(app *apps.App, v *core.PEVariant, pnr, pipelined bool) (*core.Result, error) {
+//
+// Each cell runs under its own deadline when CellTimeout is set, through
+// the fault-injection plan when one is installed, and behind the memo
+// table's recover boundary — so a panicking, hanging, or non-converging
+// cell surfaces as that cell's typed error while every other cell
+// completes normally. Failures and degradations are recorded in Report.
+func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant, pnr, pipelined bool) (*core.Result, error) {
 	if h.FastMode {
 		pnr = false
 	}
 	key := fmt.Sprintf("%s|%s|%v|%v", app.Name, v.Name, pnr, pipelined)
-	return h.results.do(key, func() (*core.Result, error) {
-		return h.FW.Evaluate(app, v, core.EvalOptions{PnR: pnr, Pipelined: pipelined})
+	cell := app.Name + "|" + v.Name
+	r, err := h.results.do(ctx, key, func() (*core.Result, error) {
+		cctx := ctx
+		if h.CellTimeout > 0 {
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(ctx, h.CellTimeout)
+			defer cancel()
+		}
+		opt := core.EvalOptions{PnR: pnr, Pipelined: pipelined}
+		if h.Faults != nil {
+			if err := h.Faults.fire("evaluate", cell); err != nil {
+				return nil, err
+			}
+			opt.Hook = func(stage string) error { return h.Faults.fire(stage, cell) }
+		}
+		return h.FW.Evaluate(cctx, app, v, opt)
 	})
+	switch {
+	case err != nil:
+		h.Report.record(Failure{Cell: key, Kind: classify(err), Err: err.Error()})
+	case r.Degraded:
+		h.Report.record(Failure{Cell: key, Kind: "degraded", Err: r.DegradedReason})
+	}
+	return r, err
 }
 
 // workers resolves the effective worker-pool size.
@@ -173,15 +224,21 @@ func (h *Harness) workers() int {
 
 // parallel runs the jobs on a bounded worker pool and returns the
 // lowest-index error (matching what a serial run would report first).
-// With one worker the jobs run serially in order.
-func (h *Harness) parallel(jobs []func() error) error {
+// With one worker the jobs run serially in order. Under KeepGoing every
+// job runs regardless of other jobs' failures (the per-cell errors are
+// already in Report) and only a cancellation of ctx is returned; without
+// it, the serial path stops at the first failure as before.
+func (h *Harness) parallel(ctx context.Context, jobs []func() error) error {
 	n := h.workers()
 	if n > len(jobs) {
 		n = len(jobs)
 	}
 	if n <= 1 {
 		for _, job := range jobs {
-			if err := job(); err != nil {
+			if err := job(); err != nil && !h.KeepGoing {
+				return err
+			}
+			if err := fault.Canceled(ctx); err != nil {
 				return err
 			}
 		}
@@ -200,8 +257,11 @@ func (h *Harness) parallel(jobs []func() error) error {
 		}(i, job)
 	}
 	wg.Wait()
+	if err := fault.Canceled(ctx); err != nil {
+		return err
+	}
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !h.KeepGoing {
 			return err
 		}
 	}
@@ -222,7 +282,7 @@ type evalCell struct {
 // cache first, so duplicate variant builds collapse too. The figure
 // drivers call this before assembling rows serially from the (now warm)
 // caches: completion order cannot affect row order or numbers.
-func (h *Harness) prefetch(cells []evalCell) error {
+func (h *Harness) prefetch(ctx context.Context, cells []evalCell) error {
 	jobs := make([]func() error, len(cells))
 	for i, c := range cells {
 		c := c
@@ -231,11 +291,11 @@ func (h *Harness) prefetch(cells []evalCell) error {
 			if err != nil {
 				return err
 			}
-			_, err = h.Evaluate(c.app, v, c.pnr, c.pipelined)
+			_, err = h.Evaluate(ctx, c.app, v, c.pnr, c.pipelined)
 			return err
 		}
 	}
-	return h.parallel(jobs)
+	return h.parallel(ctx, jobs)
 }
 
 // DomainVariantFor returns PE IP for image apps and PE ML for ML apps.

@@ -1,6 +1,11 @@
 package eval
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"repro/internal/fault"
+)
 
 // memoTable is a concurrency-safe, singleflight-style memo cache. The
 // first caller of a key installs an in-flight entry and runs the build
@@ -13,6 +18,12 @@ import "sync"
 // Errors are cached alongside values: the whole flow is deterministic
 // (seeded placement, pure analyses), so retrying a failed build cannot
 // succeed and would only make results depend on call order.
+//
+// do is also the harness's recover boundary: a panic inside a build is
+// converted to a typed error (classified by fault.AsPanic) and cached
+// like any other failure, and the done channel closes no matter how the
+// build exits — one poisoned cell can neither take down the worker pool
+// nor deadlock the other goroutines waiting on its key.
 type memoTable[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
@@ -29,19 +40,34 @@ func newMemoTable[V any]() *memoTable[V] {
 }
 
 // do returns the memoized value for key, running build at most once per
-// key across all goroutines.
-func (t *memoTable[V]) do(key string, build func() (V, error)) (V, error) {
+// key across all goroutines. A caller waiting on another goroutine's
+// in-flight build stops waiting when ctx is canceled (the build itself
+// keeps running and its result stays cached for later callers); the
+// builder's own ctx handling is the build function's business.
+func (t *memoTable[V]) do(ctx context.Context, key string, build func() (V, error)) (V, error) {
 	t.mu.Lock()
 	if e, ok := t.entries[key]; ok {
 		t.mu.Unlock()
-		<-e.done
-		return e.val, e.err
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, fault.Canceled(ctx)
+		}
 	}
 	e := &memoEntry[V]{done: make(chan struct{})}
 	t.entries[key] = e
 	t.mu.Unlock()
 
-	e.val, e.err = build()
-	close(e.done)
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				e.err = fault.AsPanic("eval: build "+key, rec)
+			}
+			close(e.done)
+		}()
+		e.val, e.err = build()
+	}()
 	return e.val, e.err
 }

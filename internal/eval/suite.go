@@ -1,5 +1,11 @@
 package eval
 
+import (
+	"context"
+
+	"repro/internal/fault"
+)
+
 // Suite runs every experiment in the canonical report order and returns
 // the tables. pnr=false is the fast post-mapping suite (what -fast and
 // the unit tests run); pnr=true adds the place-and-route-only figures
@@ -7,10 +13,18 @@ package eval
 // h.Workers: drivers prefetch cells concurrently but assemble rows
 // serially, so the determinism and golden tests compare Suite output
 // byte for byte across worker counts.
-func (h *Harness) Suite(pnr bool) ([]*Table, error) {
+//
+// Under h.KeepGoing a table whose cells failed is skipped instead of
+// aborting the suite: the unaffected tables come out byte-identical to a
+// clean run, and the per-cell errors are in h.Report. Cancellation of
+// ctx still aborts the whole suite with fault.ErrCanceled.
+func (h *Harness) Suite(ctx context.Context, pnr bool) ([]*Table, error) {
 	var tables []*Table
 	add := func(t *Table, err error) error {
 		if err != nil {
+			if h.KeepGoing && fault.Canceled(ctx) == nil {
+				return nil // cell errors are in h.Report; skip this table
+			}
 			return err
 		}
 		tables = append(tables, t)
@@ -27,28 +41,28 @@ func (h *Harness) Suite(pnr bool) ([]*Table, error) {
 		return nil, err
 	}
 	{
-		t, _, err := h.CameraLadder(pnr)
+		t, _, err := h.CameraLadder(ctx, pnr)
 		if err := add(t, err); err != nil {
 			return nil, err
 		}
 	}
 	type tabFn func() (*Table, error)
 	steps := []tabFn{
-		func() (*Table, error) { t, _, err := h.Fig12(); return t, err },
-		func() (*Table, error) { t, _, err := h.Fig13(); return t, err },
-		func() (*Table, error) { t, _, err := h.Fig14(); return t, err },
+		func() (*Table, error) { t, _, err := h.Fig12(ctx); return t, err },
+		func() (*Table, error) { t, _, err := h.Fig13(ctx); return t, err },
+		func() (*Table, error) { t, _, err := h.Fig14(ctx); return t, err },
 	}
 	if pnr {
 		steps = append(steps,
-			func() (*Table, error) { t, _, err := h.Fig15(); return t, err },
-			func() (*Table, error) { t, _, err := h.Fig16(); return t, err },
-			func() (*Table, error) { t, _, err := h.Table3(); return t, err },
+			func() (*Table, error) { t, _, err := h.Fig15(ctx); return t, err },
+			func() (*Table, error) { t, _, err := h.Fig16(ctx); return t, err },
+			func() (*Table, error) { t, _, err := h.Table3(ctx); return t, err },
 		)
 	}
 	steps = append(steps,
-		func() (*Table, error) { return h.Fig17(pnr) },
-		func() (*Table, error) { return h.Fig18(pnr) },
-		func() (*Table, error) { return h.Ablations() },
+		func() (*Table, error) { return h.Fig17(ctx, pnr) },
+		func() (*Table, error) { return h.Fig18(ctx, pnr) },
+		func() (*Table, error) { return h.Ablations(ctx) },
 	)
 	for _, step := range steps {
 		if err := add(step()); err != nil {

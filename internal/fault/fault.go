@@ -1,0 +1,120 @@
+// Package fault defines the failure taxonomy of the evaluation
+// pipeline: typed sentinel errors that every layer (graph algorithms,
+// IR construction, technology model, placement, routing, simulation,
+// the evaluation harness) uses instead of panicking, plus the helpers
+// that convert context cancellation and recovered panics into those
+// typed errors.
+//
+// The taxonomy drives the harness's fault-tolerance policy:
+//
+//   - ErrNonConvergence — an iterative solver ran out of budget
+//     (e.g. negotiated-congestion routing). Retryable: the caller may
+//     reseed and escalate effort, then degrade to an analytical
+//     estimate.
+//   - ErrCapacity — the design structurally exceeds a resource bound
+//     (more PEs than tiles). Not retryable, but degradable.
+//   - ErrCanceled — the surrounding context was canceled or timed out.
+//     Neither retryable nor degradable; the cell is abandoned.
+//   - ErrInvariant — a library invariant was violated (out-of-range
+//     node, unknown primitive, arity mismatch, recovered panic). A bug,
+//     surfaced as a per-cell error instead of a process crash.
+//   - ErrInjected — a deterministic test fault (see eval.FaultPlan).
+//
+// fault is a leaf package: it imports only the standard library, so any
+// layer of the stack can depend on it without cycles.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors classifying every failure the pipeline can produce.
+// Match with errors.Is; the helpers below attach human-readable detail.
+var (
+	ErrInvariant      = errors.New("invariant violation")
+	ErrNonConvergence = errors.New("non-convergence")
+	ErrCanceled       = errors.New("canceled")
+	ErrCapacity       = errors.New("capacity exceeded")
+	ErrInjected       = errors.New("injected fault")
+)
+
+// tagged attaches a classification sentinel to a detailed message.
+// errors.Is matches both the sentinel and, via cause, anything the
+// original error chain matched.
+type tagged struct {
+	sentinel error
+	msg      string
+	cause    error // optional underlying error, kept for Is/As
+}
+
+func (e *tagged) Error() string { return e.msg }
+
+func (e *tagged) Is(target error) bool { return target == e.sentinel }
+
+func (e *tagged) Unwrap() error { return e.cause }
+
+// Invariantf returns an ErrInvariant-classified error.
+func Invariantf(format string, args ...any) error {
+	return &tagged{sentinel: ErrInvariant, msg: fmt.Sprintf(format, args...)}
+}
+
+// NonConvergencef returns an ErrNonConvergence-classified error.
+func NonConvergencef(format string, args ...any) error {
+	return &tagged{sentinel: ErrNonConvergence, msg: fmt.Sprintf(format, args...)}
+}
+
+// Capacityf returns an ErrCapacity-classified error.
+func Capacityf(format string, args ...any) error {
+	return &tagged{sentinel: ErrCapacity, msg: fmt.Sprintf(format, args...)}
+}
+
+// Injectedf returns an ErrInjected-classified error.
+func Injectedf(format string, args ...any) error {
+	return &tagged{sentinel: ErrInjected, msg: fmt.Sprintf(format, args...)}
+}
+
+// Canceled maps the context's state to the taxonomy: nil while the
+// context is live, an ErrCanceled-classified error once it is canceled
+// or past its deadline. The returned error also matches the underlying
+// context error (context.Canceled / context.DeadlineExceeded) via
+// errors.Is, so callers can still distinguish timeout from cancel.
+func Canceled(ctx context.Context) error {
+	cause := ctx.Err()
+	if cause == nil {
+		return nil
+	}
+	return &tagged{sentinel: ErrCanceled, msg: "canceled: " + cause.Error(), cause: cause}
+}
+
+// AsPanic converts a value recovered from panic into a typed error. A
+// recovered error that is already classified (any sentinel above) keeps
+// its classification — a goroutine that panics with an injected or
+// canceled error re-surfaces as that fault, not as an invariant bug.
+// Anything else becomes an ErrInvariant error naming the boundary that
+// caught it.
+func AsPanic(where string, recovered any) error {
+	if err, ok := recovered.(error); ok {
+		for _, s := range []error{ErrInvariant, ErrNonConvergence, ErrCanceled, ErrCapacity, ErrInjected} {
+			if errors.Is(err, s) {
+				return &tagged{sentinel: s, msg: where + ": panic: " + err.Error(), cause: err}
+			}
+		}
+		return &tagged{sentinel: ErrInvariant, msg: fmt.Sprintf("%s: panic: %v", where, err), cause: err}
+	}
+	return &tagged{sentinel: ErrInvariant, msg: fmt.Sprintf("%s: panic: %v", where, recovered)}
+}
+
+// Guard runs fn and converts a panic into a typed error, so one
+// poisoned computation surfaces as a per-call failure instead of
+// killing the process (or a worker pool). The boundary is named in the
+// resulting error.
+func Guard(where string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsPanic(where, r)
+		}
+	}()
+	return fn()
+}

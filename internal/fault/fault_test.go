@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{Invariantf("bad node %d", 7), ErrInvariant},
+		{NonConvergencef("no route"), ErrNonConvergence},
+		{Capacityf("too many PEs"), ErrCapacity},
+		{Injectedf("test fault"), ErrInjected},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v does not match its sentinel %v", c.err, c.sentinel)
+		}
+		for _, other := range []error{ErrInvariant, ErrNonConvergence, ErrCapacity, ErrInjected, ErrCanceled} {
+			if other != c.sentinel && errors.Is(c.err, other) {
+				t.Errorf("%v wrongly matches %v", c.err, other)
+			}
+		}
+	}
+}
+
+func TestWrappingKeepsClassification(t *testing.T) {
+	err := fmt.Errorf("cell camera|pe_ip: %w", NonConvergencef("routing did not converge in 24 iterations"))
+	if !errors.Is(err, ErrNonConvergence) {
+		t.Fatalf("wrapped error lost its classification: %v", err)
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if err := Canceled(context.Background()); err != nil {
+		t.Fatalf("live context reported canceled: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context not classified: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause context.Canceled not preserved: %v", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	<-dctx.Done()
+	derr := Canceled(dctx)
+	if !errors.Is(derr, ErrCanceled) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("deadline error not classified as canceled+deadline: %v", derr)
+	}
+}
+
+func TestGuardConvertsPanics(t *testing.T) {
+	err := Guard("worker 3", func() error { panic("boom") })
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("string panic not classified invariant: %v", err)
+	}
+	if !strings.Contains(err.Error(), "worker 3") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic context lost: %v", err)
+	}
+
+	err = Guard("worker", func() error { panic(Injectedf("planned")) })
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("typed panic lost its classification: %v", err)
+	}
+	if errors.Is(err, ErrInvariant) {
+		t.Fatalf("injected panic wrongly classified invariant: %v", err)
+	}
+
+	err = Guard("worker", func() error { return nil })
+	if err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+
+	sentinel := errors.New("ordinary")
+	err = Guard("worker", func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ordinary error not passed through: %v", err)
+	}
+}

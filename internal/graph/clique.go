@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/fault"
+)
 
 // UndirectedAdj is an adjacency structure for the clique and independent
 // set solvers: Adj[v] lists the neighbors of v. It must be symmetric
@@ -16,14 +20,15 @@ type UndirectedAdj [][]int
 //
 // maxSteps bounds the number of branch steps; 0 means a generous default.
 // If the budget is exhausted, the best clique found so far is returned
-// (still a valid clique, possibly suboptimal).
-func MaxWeightClique(adj UndirectedAdj, weights []float64, maxSteps int) ([]int, float64) {
+// (still a valid clique, possibly suboptimal). A weights slice whose
+// length differs from the adjacency's is a fault.ErrInvariant error.
+func MaxWeightClique(adj UndirectedAdj, weights []float64, maxSteps int) ([]int, float64, error) {
 	n := len(adj)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	if len(weights) != n {
-		panic("graph: MaxWeightClique: len(weights) != len(adj)")
+		return nil, 0, fault.Invariantf("graph: MaxWeightClique: len(weights)=%d != len(adj)=%d", len(weights), n)
 	}
 	if maxSteps <= 0 {
 		maxSteps = 5_000_000
@@ -77,7 +82,7 @@ func MaxWeightClique(adj UndirectedAdj, weights []float64, maxSteps int) ([]int,
 		out[i] = order[v]
 	}
 	sort.Ints(out)
-	return out, s.bestW
+	return out, s.bestW, nil
 }
 
 type cliqueSolver struct {

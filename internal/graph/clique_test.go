@@ -1,9 +1,23 @@
 package graph
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"repro/internal/fault"
 )
+
+func TestMaxWeightCliqueRejectsWeightMismatch(t *testing.T) {
+	adj := UndirectedAdj{{1}, {0}}
+	clique, total, err := MaxWeightClique(adj, []float64{1}, 0)
+	if !errors.Is(err, fault.ErrInvariant) {
+		t.Fatalf("mismatched weights: err = %v, want ErrInvariant", err)
+	}
+	if clique != nil || total != 0 {
+		t.Fatalf("error return carried results: %v %v", clique, total)
+	}
+}
 
 func TestMaxWeightCliqueTriangle(t *testing.T) {
 	// Triangle 0-1-2 plus pendant 3 attached to 0.
@@ -14,7 +28,10 @@ func TestMaxWeightCliqueTriangle(t *testing.T) {
 		{0},
 	}
 	w := []float64{1, 1, 1, 10}
-	clique, total := MaxWeightClique(adj, w, 0)
+	clique, total, err := MaxWeightClique(adj, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Best is {0,3} with weight 11, beating triangle weight 3.
 	if total != 11 {
 		t.Fatalf("weight = %v, want 11 (clique %v)", total, clique)
@@ -26,14 +43,20 @@ func TestMaxWeightCliqueTriangle(t *testing.T) {
 
 func TestMaxWeightCliqueSingleVertex(t *testing.T) {
 	adj := UndirectedAdj{{}}
-	clique, total := MaxWeightClique(adj, []float64{5}, 0)
+	clique, total, err := MaxWeightClique(adj, []float64{5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clique) != 1 || total != 5 {
 		t.Fatalf("clique=%v total=%v, want [0] 5", clique, total)
 	}
 }
 
 func TestMaxWeightCliqueEmpty(t *testing.T) {
-	clique, total := MaxWeightClique(nil, nil, 0)
+	clique, total, err := MaxWeightClique(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if clique != nil || total != 0 {
 		t.Fatalf("empty graph: clique=%v total=%v", clique, total)
 	}
@@ -51,7 +74,10 @@ func TestMaxWeightCliqueComplete(t *testing.T) {
 			}
 		}
 	}
-	clique, total := MaxWeightClique(adj, w, 0)
+	clique, total, err := MaxWeightClique(adj, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clique) != n || total != 36 {
 		t.Fatalf("complete graph: clique=%v total=%v, want all 8 / 36", clique, total)
 	}
@@ -80,7 +106,10 @@ func TestMaxWeightCliqueAgainstBruteForce(t *testing.T) {
 			w[i] = float64(1 + rng.Intn(9))
 		}
 		want := bruteForceClique(adjm, w)
-		got, total := MaxWeightClique(adj, w, 0)
+		got, total, err := MaxWeightClique(adj, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if total != want {
 			t.Fatalf("trial %d: BnB weight %v != brute force %v (clique %v)", trial, total, want, got)
 		}
@@ -135,7 +164,10 @@ func TestMaxWeightCliqueBudgetStillValid(t *testing.T) {
 	for i := range w {
 		w[i] = 1 + rng.Float64()
 	}
-	clique, total := MaxWeightClique(adj, w, 100) // tiny budget
+	clique, total, err := MaxWeightClique(adj, w, 100) // tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clique) == 0 || total <= 0 {
 		t.Fatalf("budgeted search returned nothing: %v %v", clique, total)
 	}
@@ -163,6 +195,6 @@ func BenchmarkMaxWeightClique50(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MaxWeightClique(adj, w, 0)
+		MaxWeightClique(adj, w, 0) //nolint:errcheck // inputs are well-formed
 	}
 }

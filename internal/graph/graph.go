@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // NodeID identifies a node within a single Graph. IDs are dense: the first
@@ -51,15 +53,18 @@ func (g *Graph) AddNode(label string) NodeID {
 }
 
 // AddEdge adds a directed edge from -> to with the given destination port.
-// It panics if either endpoint is out of range; edges between valid nodes
-// are never rejected (parallel edges are allowed).
-func (g *Graph) AddEdge(from, to NodeID, port int) {
+// An out-of-range endpoint returns a fault.ErrInvariant error and leaves
+// the graph unchanged; edges between valid nodes are never rejected
+// (parallel edges are allowed). Callers constructing edges between node
+// IDs they just created may discard the error.
+func (g *Graph) AddEdge(from, to NodeID, port int) error {
 	if !g.valid(from) || !g.valid(to) {
-		panic(fmt.Sprintf("graph: AddEdge(%d, %d): node out of range (n=%d)", from, to, len(g.labels)))
+		return fault.Invariantf("graph: AddEdge(%d, %d): node out of range (n=%d)", from, to, len(g.labels))
 	}
 	e := Edge{From: from, To: to, Port: port}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
+	return nil
 }
 
 func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.labels) }

@@ -1,9 +1,12 @@
 package graph
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func TestAddNodeAndEdge(t *testing.T) {
@@ -34,15 +37,21 @@ func TestAddNodeAndEdge(t *testing.T) {
 	}
 }
 
-func TestAddEdgePanicsOnBadNode(t *testing.T) {
+func TestAddEdgeRejectsBadNode(t *testing.T) {
 	g := New()
 	g.AddNode("x")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range edge")
-		}
-	}()
-	g.AddEdge(0, 5, 0)
+	if err := g.AddEdge(0, 5, 0); !errors.Is(err, fault.ErrInvariant) {
+		t.Fatalf("AddEdge(0, 5) = %v, want ErrInvariant", err)
+	}
+	if err := g.AddEdge(-1, 0, 0); !errors.Is(err, fault.ErrInvariant) {
+		t.Fatalf("AddEdge(-1, 0) = %v, want ErrInvariant", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("rejected edge mutated the graph: NumEdges = %d", g.NumEdges())
+	}
+	if err := g.AddEdge(0, 0, 0); err != nil {
+		t.Fatalf("valid self-edge rejected: %v", err)
+	}
 }
 
 func TestCloneIsDeep(t *testing.T) {

@@ -82,13 +82,19 @@ func MaximumIndependentSet(adj UndirectedAdj, maxSteps int) ([]int, bool) {
 	for i := range weights {
 		weights[i] = 1
 	}
-	clique, _ := MaxWeightClique(comp, weights, maxSteps)
+	// The weights are unit and sized to comp right here, so the solver
+	// cannot reject them; if it ever did, the greedy set below still
+	// yields a valid (if unproven) answer.
+	clique, _, err := MaxWeightClique(comp, weights, maxSteps)
 	greedy := GreedyMIS(adj)
 	// The clique solver may return a suboptimal set if the budget ran out;
 	// take the better of the two. Optimality is certain only when the
 	// graph is small enough that the default budget could not have been
 	// exhausted — approximate that with a conservative size check.
 	best := clique
+	if err != nil {
+		best = nil
+	}
 	if len(greedy) > len(best) {
 		best = greedy
 	}

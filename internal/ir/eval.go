@@ -1,10 +1,10 @@
 package ir
 
-import "fmt"
-
 // EvalOp computes a single op on already-evaluated operands. Words are
 // uint16; 1-bit values are represented as 0/1. val is the node's immediate
-// (constant value, LUT table, ROM table id).
+// (constant value, LUT table, ROM table id). EvalOp is total: an op it does
+// not model evaluates to 0, so a malformed node cannot crash a simulation —
+// Graph.Validate is the place where unknown ops are rejected with an error.
 func EvalOp(op Op, args []uint16, val uint16) uint16 {
 	bit := func(b bool) uint16 {
 		if b {
@@ -97,7 +97,7 @@ func EvalOp(op Op, args []uint16, val uint16) uint16 {
 		// Transparent in combinational evaluation; Simulate models delay.
 		return args[0]
 	default:
-		panic(fmt.Sprintf("ir: EvalOp: unhandled op %s", op))
+		return 0
 	}
 }
 
@@ -115,6 +115,9 @@ func romValue(tableID, addr uint16) uint16 {
 // are transparent (zero-delay). Inputs are bound by name; missing inputs
 // default to zero. The result maps output names to values.
 func (g *Graph) Eval(inputs map[string]uint16) (map[string]uint16, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	order, err := g.topoOrder()
 	if err != nil {
 		return nil, err
@@ -163,6 +166,9 @@ func (n *Node) Latency() int {
 // one cycle, memories by one cycle, register-file FIFOs by their depth.
 // The result maps each output name to its per-cycle value trace.
 func (g *Graph) Simulate(inputs map[string][]uint16, cycles int) (map[string][]uint16, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	order, err := g.topoOrder()
 	if err != nil {
 		return nil, err

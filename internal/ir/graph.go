@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -19,10 +20,29 @@ type Node struct {
 
 // Graph is a dataflow DAG of IR nodes. Node 0 is the first added node;
 // references are indices into Nodes.
+//
+// Construction errors are sticky rather than fatal: a misuse of a builder
+// method (e.g. OpNode with the wrong operand count) records the first such
+// error on the graph and construction continues with a best-effort node, so
+// fluent builder chains need no per-call error handling. Err reports the
+// first recorded error, and Validate, Eval, and Simulate surface it, so a
+// malformed graph cannot silently flow into evaluation.
 type Graph struct {
 	Nodes []Node
 	Name  string
+	err   error
 }
+
+// Failf records a construction error on the graph. Only the first error is
+// kept; later ones are dropped. The error is classified fault.ErrInvariant.
+func (g *Graph) Failf(format string, args ...any) {
+	if g.err == nil {
+		g.err = fault.Invariantf(format, args...)
+	}
+}
+
+// Err reports the first construction error recorded on the graph, or nil.
+func (g *Graph) Err() error { return g.err }
 
 // NewGraph returns an empty named graph.
 func NewGraph(name string) *Graph { return &Graph{Name: name} }
@@ -57,11 +77,13 @@ func (g *Graph) ConstB(v bool) NodeRef {
 	return g.add(Node{Op: OpConstB, Val: val})
 }
 
-// OpNode adds a compute or structural node with the given operands. The
-// operand count must match the op's arity.
+// OpNode adds a compute or structural node with the given operands. An
+// operand count that does not match the op's arity records a sticky
+// construction error (see Err) and the node is still added so the returned
+// ref stays usable by subsequent builder calls.
 func (g *Graph) OpNode(op Op, args ...NodeRef) NodeRef {
 	if a := op.Arity(); a >= 0 && len(args) != a {
-		panic(fmt.Sprintf("ir: %s takes %d args, got %d", op, a, len(args)))
+		g.Failf("ir: %s takes %d args, got %d", op, a, len(args))
 	}
 	return g.add(Node{Op: op, Args: append([]NodeRef(nil), args...)})
 }
@@ -100,9 +122,9 @@ func (g *Graph) Output(name string, src NodeRef) NodeRef {
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.Nodes) }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, including any sticky error.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{Name: g.Name, Nodes: make([]Node, len(g.Nodes))}
+	c := &Graph{Name: g.Name, Nodes: make([]Node, len(g.Nodes)), err: g.err}
 	for i, n := range g.Nodes {
 		c.Nodes[i] = n
 		c.Nodes[i].Args = append([]NodeRef(nil), n.Args...)
@@ -152,8 +174,12 @@ func (g *Graph) ComputeNodeCount() int {
 	return c
 }
 
-// Validate checks referential integrity, arities, and acyclicity.
+// Validate checks referential integrity, arities, and acyclicity, and
+// surfaces any sticky construction error first.
 func (g *Graph) Validate() error {
+	if g.err != nil {
+		return g.err
+	}
 	for i, n := range g.Nodes {
 		info, ok := opTable[n.Op]
 		if !ok || n.Op == OpInvalid {

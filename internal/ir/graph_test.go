@@ -1,8 +1,10 @@
 package ir
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -60,15 +62,22 @@ func TestValidateCatchesCycle(t *testing.T) {
 	}
 }
 
-func TestOpNodePanicsOnArity(t *testing.T) {
+func TestOpNodeRecordsArityError(t *testing.T) {
 	g := NewGraph("x")
 	a := g.Input("a")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	g.OpNode(OpAdd, a)
+	if !errors.Is(g.Err(), fault.ErrInvariant) {
+		t.Fatalf("Err() = %v, want ErrInvariant", g.Err())
+	}
+	if err := g.Validate(); !errors.Is(err, fault.ErrInvariant) {
+		t.Fatalf("Validate() = %v, want sticky ErrInvariant", err)
+	}
+	if _, err := g.Eval(nil); !errors.Is(err, fault.ErrInvariant) {
+		t.Fatalf("Eval() = %v, want sticky ErrInvariant", err)
+	}
+	if !errors.Is(g.Clone().Err(), fault.ErrInvariant) {
+		t.Fatal("Clone dropped the sticky error")
+	}
 }
 
 func TestEvalMAC(t *testing.T) {

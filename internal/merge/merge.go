@@ -62,7 +62,13 @@ func Merge(a, b *Datapath, opt Options) *Datapath {
 	for i, c := range cands {
 		weights[i] = c.weight
 	}
-	clique, _ := graph.MaxWeightClique(adj, weights, opt.CliqueBudget)
+	// weights is built from cands above, so the solver cannot reject it;
+	// should it ever fail, merging degrades to the share-nothing union,
+	// which is always correct (just larger).
+	clique, _, err := graph.MaxWeightClique(adj, weights, opt.CliqueBudget)
+	if err != nil {
+		return disjointUnion(a, b)
+	}
 	return reconstruct(a, b, cands, clique)
 }
 

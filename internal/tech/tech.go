@@ -13,7 +13,12 @@
 // comparisons, which a consistent model of this kind preserves.
 package tech
 
-import "repro/internal/ir"
+import (
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+)
 
 // Cost describes one hardware primitive.
 type Cost struct {
@@ -62,9 +67,36 @@ var rawUnit = map[string]Cost{
 
 // Model is a calibrated technology model. The zero value is unusable; get
 // one from Default().
+//
+// Lookup errors are sticky: asking for an unknown primitive records the
+// first such error on the model (retrievable with Err) and returns a zero
+// Cost, so cost roll-ups keep their value-only signatures while a typo in a
+// primitive name still surfaces as a typed error instead of a panic. The
+// error record is mutex-guarded because one Model is shared across
+// evaluation workers.
 type Model struct {
 	scale float64 // area calibration factor
 	unit  map[string]Cost
+
+	mu  sync.Mutex
+	err error
+}
+
+// fail records the first lookup error. Safe for concurrent use.
+func (m *Model) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+}
+
+// Err reports the first unknown-primitive lookup recorded on the model, or
+// nil. Safe for concurrent use.
+func (m *Model) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
 }
 
 // Default returns the calibrated model: primitive ratios from rawUnit,
@@ -82,13 +114,14 @@ const BaselinePEArea = 988.81
 // ClockPeriodPS is the paper's CGRA clock period (1.1 ns).
 const ClockPeriodPS = 1100.0
 
-// Unit returns the calibrated cost of a named primitive; it panics on an
-// unknown name (an unknown primitive is a programming error, not an input
-// error).
+// Unit returns the calibrated cost of a named primitive. An unknown name
+// (a programming error, not an input error) yields a zero Cost and records
+// a sticky fault.ErrInvariant on the model; see Model.Err.
 func (m *Model) Unit(name string) Cost {
 	c, ok := m.unit[name]
 	if !ok {
-		panic("tech: unknown primitive " + name)
+		m.fail(fault.Invariantf("tech: unknown primitive %q", name))
+		return Cost{}
 	}
 	c.Area *= m.scale
 	return c

@@ -1,9 +1,12 @@
 package tech
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -50,14 +53,27 @@ func TestOpCostByClass(t *testing.T) {
 	}
 }
 
-func TestUnknownPrimitivePanics(t *testing.T) {
+func TestUnknownPrimitiveRecordsError(t *testing.T) {
 	m := Default()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown primitive")
-		}
-	}()
-	m.Unit("warpcore")
+	if err := m.Err(); err != nil {
+		t.Fatalf("fresh model already has error: %v", err)
+	}
+	if c := m.Unit("warpcore"); c != (Cost{}) {
+		t.Fatalf("unknown primitive returned nonzero cost %+v", c)
+	}
+	if !errors.Is(m.Err(), fault.ErrInvariant) {
+		t.Fatalf("Err() = %v, want ErrInvariant", m.Err())
+	}
+	if !strings.Contains(m.Err().Error(), "warpcore") {
+		t.Fatalf("error lost the primitive name: %v", m.Err())
+	}
+	// A valid lookup afterwards still works and keeps the sticky error.
+	if m.Unit("addsub").Area <= 0 {
+		t.Fatal("valid lookup broken after error")
+	}
+	if m.Err() == nil {
+		t.Fatal("sticky error was cleared")
+	}
 }
 
 func TestMemTileBiggerThanPE(t *testing.T) {
