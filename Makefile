@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench golden faultcheck panic-lint check
+.PHONY: build test race vet fmt-check bench golden faultcheck panic-lint diag-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -47,5 +47,25 @@ panic-lint:
 		echo "panic()/log.Fatal in library code (use internal/fault errors):"; \
 		echo "$$bad"; exit 1; fi
 
-check: vet fmt-check panic-lint build race
+# Diagnostics must go through internal/obs (structured slog + metrics),
+# not ad-hoc prints: reject log.Print*/fmt.Fprintf(os.Stderr, ...) in
+# non-test internal/ sources outside internal/obs. CLIs under cmd/ own
+# their stderr and are exempt; `lint:allow-diag` is the escape hatch.
+diag-lint:
+	@bad=$$(grep -rn --include='*.go' -e 'log\.Print' -e 'fmt\.Fprintf(os\.Stderr' internal/ \
+		| grep -v '_test\.go:' | grep -v '^internal/obs/' | grep -v 'lint:allow-diag'; true); \
+	if [ -n "$$bad" ]; then \
+		echo "ad-hoc diagnostics in library code (use internal/obs logging/metrics):"; \
+		echo "$$bad"; exit 1; fi
+
+# The observability layer's own gate: the obs package race hammers, the
+# workers=1-vs-8 span/metric determinism suite, and the disabled-path
+# zero-allocation guards (DESIGN.md §9).
+obscheck:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/eval/ -run 'Obs|Determinism'
+	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1
+	$(GO) test . -run TestObsDisabledOverheadUnderTwoPercent -count=1
+
+check: vet fmt-check panic-lint diag-lint build race
 	@echo "all checks passed"

@@ -43,7 +43,7 @@ func BenchmarkTable1Apps(b *testing.B) {
 func BenchmarkFig3Mining(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, pats := eval.Fig3()
+		_, pats := eval.Fig3(context.Background())
 		if len(pats) == 0 {
 			b.Fatal("no patterns")
 		}
@@ -52,7 +52,7 @@ func BenchmarkFig3Mining(b *testing.B) {
 
 func BenchmarkFig4MIS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, r := eval.Fig4()
+		_, r := eval.Fig4(context.Background())
 		if r.MISSize != 2 {
 			b.Fatalf("MIS = %d, want 2", r.MISSize)
 		}
@@ -248,11 +248,11 @@ func BenchmarkMemoContention(b *testing.B) {
 func BenchmarkAblationMISvsFrequency(b *testing.B) {
 	fw := core.New()
 	app := apps.Camera()
-	an := fw.Analyze(app)
+	an := fw.Analyze(context.Background(), app)
 	var misPEs, freqPEs int
 	for i := 0; i < b.N; i++ {
 		// MIS-guided (with absorbability-aware selection).
-		vMIS, err := fw.GeneratePE("ab_mis", app.UsedOps(), core.SelectPatterns(an, 1))
+		vMIS, err := fw.GeneratePE(context.Background(), "ab_mis", app.UsedOps(), core.SelectPatterns(an, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,8 +263,8 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		misPEs = rMIS.NumPEs
 		// Frequency-ranked.
 		view, _ := mining.ComputeView(app.Graph)
-		pats := mining.Mine(view, mining.Options{MinSupport: 4, MaxNodes: fw.MaxPatternNodes})
-		byFreq := mis.RankByFrequency(pats)
+		pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 4, MaxNodes: fw.MaxPatternNodes})
+		byFreq := mis.RankByFrequency(context.Background(), pats)
 		// Take the most frequent single-rooted pattern (rules are
 		// single-output; a multi-rooted pattern cannot become a rule).
 		pick := 0
@@ -274,7 +274,7 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 			}
 			pick++
 		}
-		vF, err := fw.GeneratePE("ab_freq", app.UsedOps(), byFreq[pick:pick+1])
+		vF, err := fw.GeneratePE(context.Background(), "ab_freq", app.UsedOps(), byFreq[pick:pick+1])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,7 +348,7 @@ func BenchmarkAblationFIFOCutoff(b *testing.B) {
 // patterns.
 func BenchmarkAblationExactVsGreedyMIS(b *testing.B) {
 	view, _ := mining.ComputeView(apps.Camera().Graph)
-	pats := mining.Mine(view, mining.Options{MinSupport: 8, MaxNodes: 3})
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 3})
 	if len(pats) == 0 {
 		b.Fatal("no patterns")
 	}
@@ -391,7 +391,7 @@ func BenchmarkAblationExactVsGreedyMIS(b *testing.B) {
 // interconnect-sensitivity side of the paper's Section 2.3 discussion.
 func BenchmarkAblationTrackSweep(b *testing.B) {
 	fw := core.New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}

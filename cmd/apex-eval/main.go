@@ -11,6 +11,14 @@
 // aborting the run — unaffected tables print exactly as in a clean run,
 // a fault report lists the affected cells, and the process exits 2.
 //
+// Observability: the run always measures itself and prints a per-stage
+// cost summary plus memo-cache statistics to stderr (-quiet suppresses
+// both and the progress line). -trace writes a Chrome trace_event JSON
+// file (load it in chrome://tracing or Perfetto), -trace-tree the span
+// tree as text, -metrics the metrics registry as JSON. -v/-vv raise
+// log verbosity, -log-format selects text or JSON diagnostics, and
+// -cpuprofile/-memprofile/-pprof hook the standard profilers.
+//
 // Exit status: 0 clean, 1 hard error, 2 completed with degraded,
 // failed, or canceled cells.
 package main
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,7 +62,19 @@ func run(ctx context.Context) (int, error) {
 	keepGoing := flag.Bool("keep-going", false, "report failed cells and continue instead of aborting")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "deadline for each evaluation cell (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress the progress line and the stderr cost summary")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
+
+	// apex-eval always measures itself: the tracer and registry exist even
+	// without export flags, so the per-stage cost summary can print.
+	of.ForceObs = true
+	o, obsCleanup, err := of.Setup(os.Stderr)
+	if err != nil {
+		return 1, err
+	}
+	ctx = o.Context(ctx)
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -66,6 +87,11 @@ func run(ctx context.Context) (int, error) {
 	h.Workers = *j
 	h.KeepGoing = *keepGoing
 	h.CellTimeout = *cellTimeout
+	h.SetObs(o)
+	if !*quiet && obs.IsTerminal(os.Stderr) {
+		h.Progress = obs.StartProgress(os.Stderr, 0)
+		defer h.Progress.Stop()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -99,11 +125,11 @@ func run(ctx context.Context) (int, error) {
 		emit(eval.Table1(), nil)
 	}
 	if sel("fig3") {
-		t, _ := eval.Fig3()
+		t, _ := eval.Fig3(ctx)
 		emit(t, nil)
 	}
 	if sel("fig4") {
-		t, _ := eval.Fig4()
+		t, _ := eval.Fig4(ctx)
 		emit(t, nil)
 	}
 	if sel("fig5") {
@@ -111,7 +137,7 @@ func run(ctx context.Context) (int, error) {
 		emit(t, nil)
 	}
 	if sel("fig10") {
-		t, err := h.Fig10()
+		t, err := h.Fig10(ctx)
 		emit(t, err)
 	}
 	if sel("table2") || sel("fig11") {
@@ -158,6 +184,7 @@ func run(ctx context.Context) (int, error) {
 		collected = append(collected, rt)
 		fmt.Println(rt.Markdown())
 	}
+	h.Report.SetMemoStats(h.MemoStats())
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -169,7 +196,24 @@ func run(ctx context.Context) (int, error) {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 	if emitErr != nil {
+		obsCleanup() // best effort: flush profiles and trace exports
 		return 1, emitErr
+	}
+	h.Progress.Stop()
+	if !*quiet {
+		if o.Tracer != nil {
+			fmt.Fprintln(os.Stderr, "per-stage cost summary:")
+			o.Tracer.WriteStageSummary(os.Stderr)
+		}
+		fmt.Fprintln(os.Stderr, "memo caches:")
+		for _, name := range []string{"analyses", "variants", "results"} {
+			s := h.Report.MemoStats()[name]
+			fmt.Fprintf(os.Stderr, "  %-9s %d lookups: %d hits, %d coalesced, %d misses, %d panics\n",
+				name, s.Lookups(), s.Hits, s.Coalesced, s.Misses, s.Panics)
+		}
+	}
+	if err := obsCleanup(); err != nil {
+		return 1, err
 	}
 	fmt.Fprintf(os.Stderr, "apex-eval completed in %s\n", time.Since(start).Round(time.Millisecond))
 	return h.Report.ExitCode(), nil

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -34,22 +36,27 @@ func run() error {
 	baseline := flag.Bool("baseline", false, "emit the baseline PE instead")
 	top := flag.Bool("top", false, "also emit the CGRA top module")
 	tb := flag.Bool("tb", false, "also emit a self-checking testbench for the largest rule")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
+	o, obsCleanup, err := of.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	ctx := o.Context(context.Background())
+
 	fw := core.New()
-	var (
-		v   *core.PEVariant
-		err error
-	)
+	var v *core.PEVariant
 	switch {
 	case *baseline:
-		v, err = fw.BaselinePE()
+		v, err = fw.BaselinePE(ctx)
 	case *appName != "":
 		var a *apps.App
 		a, err = apps.ByName(*appName)
 		if err == nil {
-			an := fw.Analyze(a)
-			v, err = fw.GeneratePE(a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
+			an := fw.Analyze(ctx, a)
+			v, err = fw.GeneratePE(ctx, a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
 		}
 	default:
 		return errors.New("need -app <name> or -baseline")
@@ -95,5 +102,5 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "emitted %s: %d config bits, %d pipeline stages\n",
 		v.Name, v.Spec.ConfigBits(), v.Pipelined.Stages)
-	return nil
+	return obsCleanup()
 }

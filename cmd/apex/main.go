@@ -12,6 +12,10 @@
 // Flags come before the positional argument. Applications: camera,
 // harris, gaussian, unsharp, resnet, mobilenet, laplacian, stereo, fast.
 //
+// Every subcommand also accepts the shared observability flags: -v/-vv
+// and -log-format for diagnostics, -trace/-trace-tree/-metrics to export
+// spans and metrics, and -cpuprofile/-memprofile/-pprof for profiling.
+//
 // Exit status: 0 on success, 1 on a hard error (bad usage, evaluation
 // failure, cancellation), 2 when the run completed but place-and-route
 // degraded to the analytical estimate. SIGINT cancels the run cleanly.
@@ -35,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -66,9 +71,9 @@ func run(ctx context.Context, args []string) (int, error) {
 		listApps()
 		return 0, nil
 	case "analyze":
-		return 0, analyze(rest)
+		return 0, analyze(ctx, rest)
 	case "generate":
-		return 0, generate(rest)
+		return 0, generate(ctx, rest)
 	case "evaluate":
 		return evaluate(ctx, rest)
 	case "compile":
@@ -92,6 +97,23 @@ func withTimeout(ctx context.Context, d time.Duration) (context.Context, context
 	return context.WithTimeout(ctx, d)
 }
 
+// setupObs builds the subcommand's observability bundle from its parsed
+// flags and attaches it to ctx. The returned done flushes exports and
+// logs (rather than fails on) flush errors — profiling output must not
+// flip a successful run's exit status.
+func setupObs(ctx context.Context, of *obs.Flags) (context.Context, func(), error) {
+	o, cleanup, err := of.Setup(os.Stderr)
+	if err != nil {
+		return ctx, nil, err
+	}
+	done := func() {
+		if err := cleanup(); err != nil {
+			log.Print(err)
+		}
+	}
+	return o.Context(ctx), done, nil
+}
+
 // simulate runs the full backend for an application and then validates
 // the placed design on the cycle-accurate fabric simulator against the
 // application's reference semantics — the flow's VCS-simulation step.
@@ -102,16 +124,23 @@ func simulate(ctx context.Context, args []string) (int, error) {
 	vectors := fs.Int("vectors", 20, "random input vectors to check")
 	j := fs.Int("j", runtime.GOMAXPROCS(0), "parallel validation workers")
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	var of obs.Flags
+	of.Register(fs)
 	app, err := appArg(fs, args)
 	if err != nil {
 		return 1, err
 	}
+	ctx, obsDone, err := setupObs(ctx, &of)
+	if err != nil {
+		return 1, err
+	}
+	defer obsDone()
 	ctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
 
 	fw := core.New()
-	an := fw.Analyze(app)
-	v, err := fw.GeneratePE(app.Name+"_pe", app.UsedOps(), core.SelectPatterns(an, *k))
+	an := fw.Analyze(ctx, app)
+	v, err := fw.GeneratePE(ctx, app.Name+"_pe", app.UsedOps(), core.SelectPatterns(an, *k))
 	if err != nil {
 		return 1, err
 	}
@@ -201,12 +230,19 @@ func simulate(ctx context.Context, args []string) (int, error) {
 func compileKernel(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
 	k := fs.Int("k", 2, "subgraphs to merge into a specialized PE (0 = baseline only)")
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return errors.New("expected one kernel file (see internal/frontend for the language)")
 	}
+	ctx, obsDone, err := setupObs(ctx, &of)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -222,13 +258,13 @@ func compileKernel(ctx context.Context, args []string) error {
 
 	app := &apps.App{Name: "kernel", Graph: g, Unroll: 1, TotalOutputs: 1 << 20}
 	fw := core.New()
-	an := fw.Analyze(app)
+	an := fw.Analyze(ctx, app)
 	fmt.Printf("mined %d frequent subgraphs\n", len(an.Ranked))
 	var v *core.PEVariant
 	if *k > 0 && len(an.Ranked) > 0 {
-		v, err = fw.GeneratePE("kernel_pe", app.UsedOps(), core.SelectPatterns(an, *k))
+		v, err = fw.GeneratePE(ctx, "kernel_pe", app.UsedOps(), core.SelectPatterns(an, *k))
 	} else {
-		v, err = fw.BaselinePE()
+		v, err = fw.BaselinePE(ctx)
 	}
 	if err != nil {
 		return err
@@ -262,21 +298,28 @@ func listApps() {
 	}
 }
 
-func analyze(args []string) error {
+func analyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	top := fs.Int("top", 10, "number of patterns to print")
 	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
+	var of obs.Flags
+	of.Register(fs)
 	app, err := appArg(fs, args)
 	if err != nil {
 		return err
 	}
+	ctx, obsDone, err := setupObs(ctx, &of)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 
 	if *dot {
 		fmt.Print(app.Graph.DOT())
 		return nil
 	}
 	fw := core.New()
-	an := fw.Analyze(app)
+	an := fw.Analyze(ctx, app)
 	fmt.Printf("%s: %d frequent subgraphs (compute view: %d nodes)\n",
 		app.Name, len(an.Ranked), an.View.NumNodes())
 	for i, r := range an.Ranked {
@@ -289,19 +332,26 @@ func analyze(args []string) error {
 	return nil
 }
 
-func generate(args []string) error {
+func generate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
+	var of obs.Flags
+	of.Register(fs)
 	app, err := appArg(fs, args)
 	if err != nil {
 		return err
 	}
+	ctx, obsDone, err := setupObs(ctx, &of)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 
 	fw := core.New()
 	m := tech.Default()
-	an := fw.Analyze(app)
+	an := fw.Analyze(ctx, app)
 	chosen := core.SelectPatterns(an, *k)
-	v, err := fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), chosen)
+	v, err := fw.GeneratePE(ctx, fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), chosen)
 	if err != nil {
 		return err
 	}
@@ -327,10 +377,17 @@ func evaluate(ctx context.Context, args []string) (int, error) {
 	baseline := fs.Bool("baseline", false, "evaluate on the general-purpose baseline PE instead")
 	fast := fs.Bool("fast", false, "skip place-and-route")
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	var of obs.Flags
+	of.Register(fs)
 	app, err := appArg(fs, args)
 	if err != nil {
 		return 1, err
 	}
+	ctx, obsDone, err := setupObs(ctx, &of)
+	if err != nil {
+		return 1, err
+	}
+	defer obsDone()
 	ctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
 
@@ -341,10 +398,10 @@ func evaluate(ctx context.Context, args []string) (int, error) {
 	}
 	var v *core.PEVariant
 	if *baseline {
-		v, err = fw.BaselinePE()
+		v, err = fw.BaselinePE(ctx)
 	} else {
-		an := fw.Analyze(app)
-		v, err = fw.GeneratePE(fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), core.SelectPatterns(an, *k))
+		an := fw.Analyze(ctx, app)
+		v, err = fw.GeneratePE(ctx, fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), core.SelectPatterns(an, *k))
 	}
 	if err != nil {
 		return 1, err

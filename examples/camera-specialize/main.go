@@ -22,23 +22,24 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	fw := core.New()
 	app := apps.Camera()
 
 	fmt.Printf("analyzing %s (%d compute ops, unrolled %dx)...\n",
 		app.Name, app.ComputeOps(), app.Unroll)
-	an := fw.Analyze(app)
+	an := fw.Analyze(ctx, app)
 	fmt.Printf("  %d frequent subgraphs; top by MIS: %s (MIS=%d)\n",
 		len(an.Ranked), an.Ranked[0].Pattern.Code, an.Ranked[0].MISSize)
 
 	variants := make([]*core.PEVariant, 0, 5)
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	variants = append(variants, base)
 	for k := 1; k <= 4; k++ {
-		v, err := fw.GeneratePE(fmt.Sprintf("camera_pe%d", k), app.UsedOps(),
+		v, err := fw.GeneratePE(ctx, fmt.Sprintf("camera_pe%d", k), app.UsedOps(),
 			core.SelectPatterns(an, k-1))
 		if err != nil {
 			log.Fatal(err)
@@ -49,7 +50,7 @@ func main() {
 	fmt.Printf("\n%-10s %6s %12s %14s %14s %10s\n",
 		"variant", "#PEs", "area/PE", "total PE area", "energy/out", "latency")
 	for _, v := range variants {
-		r, err := fw.Evaluate(context.Background(), app, v, core.FullEval)
+		r, err := fw.Evaluate(ctx, app, v, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}

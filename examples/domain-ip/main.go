@@ -22,6 +22,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	fw := core.New()
 	// Post-mapping level, like the paper's Fig. 13.
 	opt := core.PostMapping
@@ -29,7 +30,7 @@ func main() {
 	// Mine each analyzed image application and take its best subgraph.
 	var named []rewrite.NamedPattern
 	for _, a := range apps.AnalyzedIP() {
-		an := fw.Analyze(a)
+		an := fw.Analyze(ctx, a)
 		chosen := core.SelectPatterns(an, 1)
 		if len(chosen) == 0 {
 			continue
@@ -42,11 +43,11 @@ func main() {
 		fmt.Printf("%-9s contributes %s (MIS=%d)\n", a.Name, chosen[0].Pattern.Code, chosen[0].MISSize)
 	}
 
-	ip, err := fw.GeneratePEFromPatterns("pe_ip", core.UnionOps(apps.AnalyzedIP()), named)
+	ip, err := fw.GeneratePEFromPatterns(ctx, "pe_ip", core.UnionOps(apps.AnalyzedIP()), named)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func main() {
 	fmt.Printf("%-10s %-8s %10s %10s %14s %14s\n",
 		"app", "status", "#PE base", "#PE IP", "area vs base", "energy vs base")
 	run := func(a *apps.App, status string) {
-		rb, err := fw.Evaluate(context.Background(), a, base, opt)
+		rb, err := fw.Evaluate(ctx, a, base, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ri, err := fw.Evaluate(context.Background(), a, ip, opt)
+		ri, err := fw.Evaluate(ctx, a, ip, opt)
 		if err != nil {
 			log.Fatalf("%s: %v", a.Name, err)
 		}

@@ -26,12 +26,13 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	fw := core.New()
 
 	// CGRA-ML: union of the ML layers' ops + two subgraphs from each.
 	var named []rewrite.NamedPattern
 	for _, a := range apps.AnalyzedML() {
-		an := fw.Analyze(a)
+		an := fw.Analyze(ctx, a)
 		for i, r := range core.SelectPatterns(an, 2) {
 			np, err := rewrite.PatternFromMined(r.Pattern.Graph, fmt.Sprintf("ml_%s%d", a.Name, i))
 			if err != nil {
@@ -40,22 +41,22 @@ func main() {
 			named = append(named, np)
 		}
 	}
-	ml, err := fw.GeneratePEFromPatterns("cgra_ml", core.UnionOps(apps.AnalyzedML()), named)
+	ml, err := fw.GeneratePEFromPatterns(ctx, "cgra_ml", core.UnionOps(apps.AnalyzedML()), named)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%-10s %-10s %14s %14s\n", "app", "platform", "energy/out", "area")
 	for _, a := range apps.AnalyzedML() {
-		rb, err := fw.Evaluate(context.Background(), a, base, core.FullEval)
+		rb, err := fw.Evaluate(ctx, a, base, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rm, err := fw.Evaluate(context.Background(), a, ml, core.FullEval)
+		rm, err := fw.Evaluate(ctx, a, ml, core.FullEval)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func main() {
 	// End-to-end validation: simulate the mapped, balanced ResNet layer
 	// cycle by cycle and compare the steady state with the reference.
 	resnet := apps.ResNet()
-	r, err := fw.Evaluate(context.Background(), resnet, ml, core.FullEval)
+	r, err := fw.Evaluate(ctx, resnet, ml, core.FullEval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func main() {
 		inputs[resnet.Graph.Nodes[in].Name] = []uint16{v}
 		ref[resnet.Graph.Nodes[in].Name] = v
 	}
-	trace, err := cgra.Simulate(context.Background(), r.Balanced, peLat, inputs, lat+4)
+	trace, err := cgra.Simulate(ctx, r.Balanced, peLat, inputs, lat+4)
 	if err != nil {
 		log.Fatal(err)
 	}

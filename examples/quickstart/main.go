@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,12 +45,13 @@ func main() {
 	fmt.Printf("application: %d nodes, %d compute ops\n", app.NumNodes(), app.ComputeNodeCount())
 
 	// --- 2. Frequent subgraph mining (paper Section 3.1).
+	ctx := context.Background()
 	view, _ := mining.ComputeView(app)
-	patterns := mining.Mine(view, mining.Options{MinSupport: 3, MaxNodes: 4})
+	patterns := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 4})
 	fmt.Printf("mined %d frequent subgraphs\n", len(patterns))
 
 	// --- 3. Maximal independent set ranking (Section 3.2).
-	ranked := mis.Rank(patterns)
+	ranked := mis.Rank(ctx, patterns)
 	best := ranked[0]
 	fmt.Printf("best subgraph: %s (MIS=%d, %d occurrences)\n",
 		best.Pattern.Code, best.MISSize, len(best.Occurrences))

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -105,6 +106,8 @@ func RouteAll(ctx context.Context, p *Placement, opt RouteOptions) (*Routing, er
 			}
 		}
 		if over == 0 {
+			obs.Observe(ctx, "route.iterations", int64(iter))
+			obs.Add(ctx, "route.nets", int64(len(nets)))
 			return r, nil
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -18,6 +19,8 @@ import (
 // The result maps each output name to its per-cycle trace. Cancellation
 // of ctx aborts between cycles with fault.ErrCanceled.
 func Simulate(ctx context.Context, m *rewrite.Mapped, peLatency int, inputs map[string][]uint16, cycles int) (map[string][]uint16, error) {
+	_, span := obs.StartSpan(ctx, "sim", obs.Int("cycles", cycles), obs.Int("nodes", len(m.Nodes)))
+	defer span.End()
 	type delayLine struct {
 		buf []uint16
 	}

@@ -17,11 +17,11 @@ import (
 func TestEvaluateConcurrentMixedOptions(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := fw.GeneratePE("spec", app.UsedOps(), SelectPatterns(fw.Analyze(app), 2))
+	spec, err := fw.GeneratePE(context.Background(), "spec", app.UsedOps(), SelectPatterns(fw.Analyze(context.Background(), app), 2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,12 +8,17 @@
 //
 //	fw := core.New()
 //	app := apps.Camera()
-//	ranked := fw.Analyze(app)
-//	variant, _ := fw.GeneratePE("camera_pe2", app.UsedOps(), ranked[:1])
+//	analysis := fw.Analyze(ctx, app)
+//	variant, _ := fw.GeneratePE(ctx, "camera_pe2", app.UsedOps(), analysis.Ranked[:1])
 //	result, _ := fw.Evaluate(ctx, app, variant, core.FullEval)
+//
+// Every stage is instrumented with internal/obs spans and metrics; a
+// context without an attached observability bundle makes all of that
+// free (no allocations, no clock reads).
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/mining"
 	"repro/internal/mis"
+	"repro/internal/obs"
 	"repro/internal/pe"
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
@@ -66,17 +72,32 @@ type Analysis struct {
 
 // Analyze mines an application's compute view and ranks the frequent
 // subgraphs by maximal independent set size (paper Section 3.1-3.2).
-func (f *Framework) Analyze(app *apps.App) *Analysis {
+func (f *Framework) Analyze(ctx context.Context, app *apps.App) *Analysis {
+	ctx, span := obs.StartSpan(ctx, "analyze", obs.String("app", app.Name))
+	defer span.End()
+
+	_, vspan := obs.StartSpan(ctx, "compute_view")
 	view, _ := mining.ComputeView(app.Graph)
+	vspan.End()
+
 	minSupport := app.ComputeOps() / 40
 	if minSupport < 4 {
 		minSupport = 4
 	}
-	pats := mining.Mine(view, mining.Options{
+	mctx, mspan := obs.StartSpan(ctx, "mine", obs.Int("min_support", minSupport))
+	pats := mining.Mine(mctx, view, mining.Options{
 		MinSupport: minSupport,
 		MaxNodes:   f.MaxPatternNodes,
 	})
-	return &Analysis{View: view, Ranked: mis.Rank(pats)}
+	mspan.SetAttrs(obs.Int("patterns", len(pats)))
+	mspan.End()
+
+	rctx, rspan := obs.StartSpan(ctx, "mis_rank", obs.Int("patterns", len(pats)))
+	ranked := mis.Rank(rctx, pats)
+	rspan.End()
+	obs.Logger(ctx).Info("analyzed application",
+		"app", app.Name, "min_support", minSupport, "patterns", len(pats))
+	return &Analysis{View: view, Ranked: ranked}
 }
 
 // PEVariant is one generated PE design together with its compiler.
@@ -117,7 +138,10 @@ var ControlOps = []ir.Op{ir.OpSel, ir.OpLUT}
 // (the paper's "PE 1") merged with the given ranked subgraphs in order
 // (PE 2 merges one, PE 3 two, and so on), plus the synthesized compiler
 // and automatic pipelining.
-func (f *Framework) GeneratePE(name string, baseOps []ir.Op, patterns []mis.Ranked) (*PEVariant, error) {
+func (f *Framework) GeneratePE(ctx context.Context, name string, baseOps []ir.Op, patterns []mis.Ranked) (*PEVariant, error) {
+	ctx, span := obs.StartSpan(ctx, "generate_pe",
+		obs.String("variant", name), obs.Int("patterns", len(patterns)))
+	defer span.End()
 	ops := withControlOps(baseOps)
 	dp := merge.BaselinePE(ops)
 	var named []rewrite.NamedPattern
@@ -126,59 +150,92 @@ func (f *Framework) GeneratePE(name string, baseOps []ir.Op, patterns []mis.Rank
 		if err != nil {
 			return nil, err
 		}
+		_, mspan := obs.StartSpan(ctx, "merge", obs.String("pattern", np.Name))
 		pdp, err := merge.FromPattern(np.Graph, np.Name)
 		if err != nil {
+			mspan.End()
 			return nil, err
 		}
 		dp = merge.Merge(dp, pdp, merge.Options{Tech: f.Tech})
+		mspan.End()
 		named = append(named, np)
 	}
 	spec := pe.FromDatapath(name, dp)
-	rules, err := rewrite.SynthesizeRuleSet(spec, named, ops)
+	rules, err := synthesizeRules(ctx, spec, named, ops)
 	if err != nil {
 		return nil, err
 	}
-	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	pp := pipelinePE(ctx, spec, f.Tech)
+	obs.Logger(ctx).Info("generated PE",
+		"variant", name, "merged_patterns", len(named), "rules", len(rules.Rules), "stages", pp.Stages)
 	return &PEVariant{Name: name, Spec: spec, Pipelined: pp, Rules: rules}, nil
+}
+
+// synthesizeRules wraps compiler generation in its span.
+func synthesizeRules(ctx context.Context, spec *pe.Spec, named []rewrite.NamedPattern, ops []ir.Op) (*rewrite.RuleSet, error) {
+	_, span := obs.StartSpan(ctx, "synthesize_rules", obs.String("variant", spec.Name))
+	defer span.End()
+	rules, err := rewrite.SynthesizeRuleSet(spec, named, ops)
+	if err == nil {
+		span.SetAttrs(obs.Int("rules", len(rules.Rules)))
+	}
+	return rules, err
+}
+
+// pipelinePE wraps PE pipelining in its span.
+func pipelinePE(ctx context.Context, spec *pe.Spec, m *tech.Model) *pipeline.PipelinedPE {
+	_, span := obs.StartSpan(ctx, "pipeline_pe", obs.String("variant", spec.Name))
+	defer span.End()
+	pp := pipeline.PipelinePE(spec, m, pipeline.Options{})
+	span.SetAttrs(obs.Int("stages", pp.Stages))
+	return pp
 }
 
 // GeneratePEFromPatterns is GeneratePE for already-converted patterns
 // (used when composing domain PEs from several applications' subgraphs).
-func (f *Framework) GeneratePEFromPatterns(name string, baseOps []ir.Op, named []rewrite.NamedPattern) (*PEVariant, error) {
+func (f *Framework) GeneratePEFromPatterns(ctx context.Context, name string, baseOps []ir.Op, named []rewrite.NamedPattern) (*PEVariant, error) {
+	ctx, span := obs.StartSpan(ctx, "generate_pe",
+		obs.String("variant", name), obs.Int("patterns", len(named)))
+	defer span.End()
 	ops := withControlOps(baseOps)
 	dp := merge.BaselinePE(ops)
 	for _, np := range named {
+		_, mspan := obs.StartSpan(ctx, "merge", obs.String("pattern", np.Name))
 		pdp, err := merge.FromPattern(np.Graph, np.Name)
 		if err != nil {
+			mspan.End()
 			return nil, err
 		}
 		dp = merge.Merge(dp, pdp, merge.Options{Tech: f.Tech})
+		mspan.End()
 	}
 	spec := pe.FromDatapath(name, dp)
-	rules, err := rewrite.SynthesizeRuleSet(spec, named, ops)
+	rules, err := synthesizeRules(ctx, spec, named, ops)
 	if err != nil {
 		return nil, err
 	}
-	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	pp := pipelinePE(ctx, spec, f.Tech)
 	return &PEVariant{Name: name, Spec: spec, Pipelined: pp, Rules: rules}, nil
 }
 
 // BaselinePE returns the paper's general-purpose baseline PE variant.
-func (f *Framework) BaselinePE() (*PEVariant, error) {
+func (f *Framework) BaselinePE(ctx context.Context) (*PEVariant, error) {
+	ctx, span := obs.StartSpan(ctx, "generate_pe", obs.String("variant", "baseline"))
+	defer span.End()
 	ops := ir.BaselineALUOps()
 	spec := pe.FromDatapath("baseline", merge.BaselinePE(ops))
-	rules, err := rewrite.SynthesizeRuleSet(spec, nil, ops)
+	rules, err := synthesizeRules(ctx, spec, nil, ops)
 	if err != nil {
 		return nil, err
 	}
-	pp := pipeline.PipelinePE(spec, f.Tech, pipeline.Options{})
+	pp := pipelinePE(ctx, spec, f.Tech)
 	return &PEVariant{Name: "baseline", Spec: spec, Pipelined: pp, Rules: rules, Baseline: true}, nil
 }
 
 // RestrictedBaseline returns "PE 1": the baseline PE with only the
 // operations the application needs.
-func (f *Framework) RestrictedBaseline(name string, ops []ir.Op) (*PEVariant, error) {
-	return f.GeneratePE(name, ops, nil)
+func (f *Framework) RestrictedBaseline(ctx context.Context, name string, ops []ir.Op) (*PEVariant, error) {
+	return f.GeneratePE(ctx, name, ops, nil)
 }
 
 // SelectPatterns picks k subgraphs to merge, greedily maximizing the

@@ -10,7 +10,7 @@ import (
 
 func TestAnalyzeCameraFindsPatterns(t *testing.T) {
 	fw := New()
-	ranked := fw.Analyze(apps.Camera()).Ranked
+	ranked := fw.Analyze(context.Background(), apps.Camera()).Ranked
 	if len(ranked) == 0 {
 		t.Fatal("no patterns")
 	}
@@ -26,7 +26,7 @@ func TestAnalyzeCameraFindsPatterns(t *testing.T) {
 
 func TestBaselineVariant(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,9 +42,9 @@ func TestBaselineVariant(t *testing.T) {
 func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	ranked := fw.Analyze(app).Ranked
+	ranked := fw.Analyze(context.Background(), app).Ranked
 
-	pe1, err := fw.RestrictedBaseline("pe1", app.UsedOps())
+	pe1, err := fw.RestrictedBaseline(context.Background(), "pe1", app.UsedOps())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pe2, err := fw.GeneratePE("pe2", app.UsedOps(), ranked[:1])
+	pe2, err := fw.GeneratePE(context.Background(), "pe2", app.UsedOps(), ranked[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +71,11 @@ func TestGeneratePELadderShrinksPEs(t *testing.T) {
 func TestRestrictedBaselineSmallerThanBaseline(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	pe1, err := fw.RestrictedBaseline("pe1", app.UsedOps())
+	pe1, err := fw.RestrictedBaseline(context.Background(), "pe1", app.UsedOps())
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestRestrictedBaselineSmallerThanBaseline(t *testing.T) {
 
 func TestEvaluateBaselineCameraMatchesTable3(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestEvaluateBaselineCameraMatchesTable3(t *testing.T) {
 func TestEvaluateFullPnRSmallApp(t *testing.T) {
 	fw := New()
 	fw.PlaceMoves = 20000
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestUnionOps(t *testing.T) {
 
 func TestTopPatterns(t *testing.T) {
 	fw := New()
-	ranked := fw.Analyze(apps.Gaussian()).Ranked
+	ranked := fw.Analyze(context.Background(), apps.Gaussian()).Ranked
 	pats, err := TopPatterns("gauss", ranked, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cgra"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
 	"repro/internal/tech"
@@ -141,6 +142,10 @@ var pnrLadder = []struct {
 // Cancellation (fault.ErrCanceled) is never retried and never degraded; it
 // propagates so callers can distinguish "gave up" from "was told to stop".
 func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, opt EvalOptions) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "evaluate",
+		obs.String("app", app.Name), obs.String("variant", v.Name),
+		obs.Bool("pnr", opt.PnR), obs.Bool("pipelined", opt.Pipelined))
+	defer span.End()
 	if err := fault.Canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -150,7 +155,9 @@ func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, o
 	if err := opt.hook("map"); err != nil {
 		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
 	}
+	_, mapSpan := obs.StartSpan(ctx, "map")
 	mapped, err := rewrite.MapApp(app.Graph, v.Rules, app.Name+"@"+v.Name)
+	mapSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: map %s on %s: %w", app.Name, v.Name, err)
 	}
@@ -164,7 +171,9 @@ func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, o
 	if err := opt.hook("balance"); err != nil {
 		return nil, fmt.Errorf("core: balance %s on %s: %w", app.Name, v.Name, err)
 	}
+	_, balSpan := obs.StartSpan(ctx, "balance")
 	balanced, report := pipeline.BalanceApp(mapped, pipeline.AppOptions{PELatency: peLat})
+	balSpan.End()
 
 	r := &Result{
 		App:        app.Name,
@@ -190,6 +199,9 @@ func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, o
 	if err := f.Tech.Err(); err != nil {
 		return nil, fmt.Errorf("core: evaluate %s on %s: %w", app.Name, v.Name, err)
 	}
+	obs.Logger(ctx).Info("evaluated cell",
+		"app", app.Name, "variant", v.Name, "pnr", opt.PnR,
+		"pes", r.NumPEs, "latency_cyc", r.LatencyCyc)
 	return r, nil
 }
 
@@ -197,26 +209,40 @@ func (f *Framework) Evaluate(ctx context.Context, app *apps.App, v *PEVariant, o
 // degrading to the analytical estimate (Routing left nil, Degraded set)
 // when PnR cannot complete for a reason retrying will not fix.
 func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVariant, balanced *rewrite.Mapped, opt EvalOptions, r *Result) error {
-	degrade := func(reason error) {
+	ctx, span := obs.StartSpan(ctx, "pnr")
+	defer func() {
+		span.SetAttrs(obs.Int("attempts", r.PnRAttempts), obs.Bool("degraded", r.Degraded))
+		span.End()
+	}()
+	degrade := func(reason error, metric string) {
 		r.Degraded = true
 		r.DegradedReason = reason.Error()
 		r.Routing = nil
 		r.RoutingTiles = 0
+		obs.Add(ctx, "pnr.degraded."+metric, 1)
+		obs.Logger(ctx).Warn("pnr degraded to analytical estimate",
+			"app", app.Name, "variant", v.Name,
+			"attempts", r.PnRAttempts, "reason", reason.Error())
 	}
 	var lastErr error
-	for _, rung := range pnrLadder {
+	for attempt, rung := range pnrLadder {
 		r.PnRAttempts++
+		obs.Add(ctx, "pnr.attempts", 1)
 		if err := opt.hook("place"); err != nil {
 			return fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
 		}
-		placed, err := cgra.Place(ctx, balanced, f.Fabric, cgra.PlaceOptions{
-			Seed:  f.PlaceSeed + rung.SeedOffset,
+		seed := f.PlaceSeed + rung.SeedOffset
+		pctx, placeSpan := obs.StartSpan(ctx, "place",
+			obs.Int("attempt", attempt+1), obs.Int64("seed", seed))
+		placed, err := cgra.Place(pctx, balanced, f.Fabric, cgra.PlaceOptions{
+			Seed:  seed,
 			Moves: f.PlaceMoves,
 		})
+		placeSpan.End()
 		if err != nil {
 			if errors.Is(err, fault.ErrCapacity) {
 				// The design does not fit this fabric; reseeding cannot help.
-				degrade(err)
+				degrade(err, "capacity")
 				return nil
 			}
 			return fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
@@ -228,7 +254,10 @@ func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVaria
 			}
 			return fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
 		}
-		routing, err := cgra.RouteAll(ctx, placed, cgra.RouteOptions{MaxIterations: rung.RouteIters})
+		rctx, routeSpan := obs.StartSpan(ctx, "route",
+			obs.Int("attempt", attempt+1), obs.Int("max_iters", rung.RouteIters))
+		routing, err := cgra.RouteAll(rctx, placed, cgra.RouteOptions{MaxIterations: rung.RouteIters})
+		routeSpan.End()
 		if err == nil {
 			r.Routing = routing
 			r.RoutingTiles = routing.RoutingOnlyTiles()
@@ -241,8 +270,10 @@ func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVaria
 			return fmt.Errorf("core: route %s on %s: %w", app.Name, v.Name, err)
 		}
 		lastErr = err
+		obs.Logger(ctx).Info("pnr attempt did not converge, walking the retry ladder",
+			"app", app.Name, "variant", v.Name, "attempt", attempt+1, "err", err.Error())
 	}
-	degrade(fmt.Errorf("routing failed after %d attempts: %w", r.PnRAttempts, lastErr))
+	degrade(fmt.Errorf("routing failed after %d attempts: %w", r.PnRAttempts, lastErr), "nonconvergence")
 	return nil
 }
 

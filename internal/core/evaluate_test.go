@@ -10,7 +10,7 @@ import (
 
 func TestPeriodClampedToFabricClock(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestPeriodClampedToFabricClock(t *testing.T) {
 
 func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestPrePipeliningPeriodMuchWorse(t *testing.T) {
 
 func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 
 func TestAreaBreakdownSumsToTotal(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestAreaBreakdownSumsToTotal(t *testing.T) {
 
 func TestPnRRefinesRoutingMetrics(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestPnRRefinesRoutingMetrics(t *testing.T) {
 
 func TestBaselineEnergyUsesBaselineModel(t *testing.T) {
 	fw := New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,10 +14,10 @@ func Example() {
 	fw := core.New()
 
 	app := apps.Camera()
-	analysis := fw.Analyze(app)
+	analysis := fw.Analyze(context.Background(), app)
 	chosen := core.SelectPatterns(analysis, 2)
 
-	variant, err := fw.GeneratePE("camera_pe3", app.UsedOps(), chosen)
+	variant, err := fw.GeneratePE(context.Background(), "camera_pe3", app.UsedOps(), chosen)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +35,7 @@ func Example() {
 // ExampleFramework_BaselinePE shows the calibrated general-purpose PE.
 func ExampleFramework_BaselinePE() {
 	fw := core.New()
-	base, err := fw.BaselinePE()
+	base, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		panic(err)
 	}

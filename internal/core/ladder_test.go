@@ -31,7 +31,7 @@ func trackless() *Framework {
 func TestPnRDegradesOnUnroutableFabric(t *testing.T) {
 	fw := trackless()
 	app := apps.Camera()
-	v, err := fw.BaselinePE()
+	v, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestPnRDegradesOnUnroutableFabric(t *testing.T) {
 func TestPnRLadderRetriesThenSucceeds(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	v, err := fw.BaselinePE()
+	v, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestPnRLadderRetriesThenSucceeds(t *testing.T) {
 func TestEvaluateCancellation(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	v, err := fw.BaselinePE()
+	v, err := fw.BaselinePE(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/apps"
@@ -32,8 +34,8 @@ func selView(t *testing.T) (*Analysis, string, string) {
 		g.Output("o3", g.OpNode(ir.OpAbs, d))
 	}
 	view, _ := mining.ComputeView(g)
-	pats := mining.Mine(view, mining.Options{MinSupport: 3, MaxNodes: 2})
-	ranked := mis.Rank(pats)
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 3, MaxNodes: 2})
+	ranked := mis.Rank(context.Background(), pats)
 
 	mulAdd := graph.New()
 	mm := mulAdd.AddNode("mul")
@@ -78,7 +80,7 @@ func TestSelectPatternsPrefersAbsorbable(t *testing.T) {
 
 func TestSelectPatternsRespectsK(t *testing.T) {
 	fw := New()
-	an := fw.Analyze(apps.Camera())
+	an := fw.Analyze(context.Background(), apps.Camera())
 	for k := 0; k <= 4; k++ {
 		chosen := SelectPatterns(an, k)
 		if len(chosen) > k {
@@ -91,7 +93,7 @@ func TestSelectPatternsDisjointCoverage(t *testing.T) {
 	// Patterns selected in later rounds must add coverage: re-selecting
 	// with a larger k keeps earlier choices as a prefix.
 	fw := New()
-	an := fw.Analyze(apps.Harris())
+	an := fw.Analyze(context.Background(), apps.Harris())
 	two := SelectPatterns(an, 2)
 	three := SelectPatterns(an, 3)
 	if len(two) >= 1 && len(three) >= 1 && two[0].Pattern.Code != three[0].Pattern.Code {
@@ -107,7 +109,7 @@ func TestSelectPatternsSkipsMultiRooted(t *testing.T) {
 	// must never return one.
 	fw := New()
 	for _, a := range apps.AnalyzedIP() {
-		an := fw.Analyze(a)
+		an := fw.Analyze(context.Background(), a)
 		for _, r := range SelectPatterns(an, 4) {
 			sinks := 0
 			for v := 0; v < r.Pattern.Graph.NumNodes(); v++ {

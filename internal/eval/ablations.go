@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mining"
 	"repro/internal/mis"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
 )
@@ -16,6 +17,8 @@ import (
 // and reports them as one table (the benchmark harness runs the same
 // studies with timings).
 func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
+	ctx, span := obs.StartSpan(ctx, "ablations")
+	defer span.End()
 	t := &Table{
 		ID:      "Ablations",
 		Title:   "Design-choice studies (DESIGN.md Section 4)",
@@ -27,13 +30,13 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 	// resolve through the singleflight variant cache so the prefetch
 	// below and the serial assembly share one build each.
 	misVariant := func() (*core.PEVariant, error) {
-		return h.Variant("abl_mis", func() (*core.PEVariant, error) {
-			return h.FW.GeneratePE("abl_mis", app.UsedOps(), core.SelectPatterns(h.Analysis(app), 1))
+		return h.Variant("abl_mis", func(ctx context.Context) (*core.PEVariant, error) {
+			return h.FW.GeneratePE(ctx, "abl_mis", app.UsedOps(), core.SelectPatterns(h.Analysis(app), 1))
 		})
 	}
 	freqVariant := func() (*core.PEVariant, error) {
-		return h.Variant("abl_freq", func() (*core.PEVariant, error) {
-			byFreq := mis.RankByFrequency(h.freqPatterns(app))
+		return h.Variant("abl_freq", func(ctx context.Context) (*core.PEVariant, error) {
+			byFreq := mis.RankByFrequency(ctx, h.freqPatterns(ctx, app))
 			pick := 0
 			for pick < len(byFreq) {
 				if _, err := rewrite.PatternFromMined(byFreq[pick].Pattern.Graph, "probe"); err == nil {
@@ -41,7 +44,7 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 				}
 				pick++
 			}
-			return h.FW.GeneratePE("abl_freq", app.UsedOps(), byFreq[pick:pick+1])
+			return h.FW.GeneratePE(ctx, "abl_freq", app.UsedOps(), byFreq[pick:pick+1])
 		})
 	}
 	if err := h.prefetch(ctx, []evalCell{
@@ -107,11 +110,11 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 // freqPatterns re-mines the app for the frequency-ranking ablation (the
 // cached analysis is already MIS-ranked; ranking is cheap, mining is
 // what the cache saves — reuse the cached view's parameters).
-func (h *Harness) freqPatterns(app *apps.App) []mining.Pattern {
+func (h *Harness) freqPatterns(ctx context.Context, app *apps.App) []mining.Pattern {
 	view, _ := mining.ComputeView(app.Graph)
 	minSupport := app.ComputeOps() / 40
 	if minSupport < 4 {
 		minSupport = 4
 	}
-	return mining.Mine(view, mining.Options{MinSupport: minSupport, MaxNodes: h.FW.MaxPatternNodes})
+	return mining.Mine(ctx, view, mining.Options{MinSupport: minSupport, MaxNodes: h.FW.MaxPatternNodes})
 }

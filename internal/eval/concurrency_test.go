@@ -111,10 +111,10 @@ func TestHarnessHammer(t *testing.T) {
 
 				vi := (g + c) % len(members)
 				vApp := members[vi]
-				v, err := h.Variant("hammer_"+vApp.Name, func() (*core.PEVariant, error) {
+				v, err := h.Variant("hammer_"+vApp.Name, func(ctx context.Context) (*core.PEVariant, error) {
 					variantBuilds[vi].Add(1)
 					chosen := core.SelectPatterns(h.Analysis(vApp), 1)
-					return h.FW.GeneratePE("hammer_"+vApp.Name, vApp.UsedOps(), chosen)
+					return h.FW.GeneratePE(ctx, "hammer_"+vApp.Name, vApp.UsedOps(), chosen)
 				})
 				if err != nil {
 					t.Errorf("variant %s: %v", vApp.Name, err)
@@ -150,7 +150,7 @@ func TestFailedEvaluationDoesNotPoisonLaterResults(t *testing.T) {
 	h := fastHarness()
 
 	// A PE that lacks Mul cannot map an app that multiplies.
-	nomul, err := h.FW.GeneratePE("nomul", []ir.Op{ir.OpAdd}, nil)
+	nomul, err := h.FW.GeneratePE(context.Background(), "nomul", []ir.Op{ir.OpAdd}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func TestTable1ListsNineApps(t *testing.T) {
 }
 
 func TestFig3PatternsHaveFourOccurrences(t *testing.T) {
-	_, pats := Fig3()
+	_, pats := Fig3(context.Background())
 	if len(pats) == 0 {
 		t.Fatal("no patterns")
 	}
@@ -50,7 +50,7 @@ func TestFig3PatternsHaveFourOccurrences(t *testing.T) {
 }
 
 func TestFig4MISIsTwo(t *testing.T) {
-	_, r := Fig4()
+	_, r := Fig4(context.Background())
 	if len(r.Occurrences) != 4 || r.MISSize != 2 {
 		t.Fatalf("occ=%d mis=%d, paper says 4 and 2", len(r.Occurrences), r.MISSize)
 	}

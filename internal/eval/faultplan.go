@@ -133,8 +133,9 @@ type Failure struct {
 // caller but reported once) and is safe for concurrent use. The zero
 // value is ready; (*Report)(nil) discards records.
 type Report struct {
-	mu sync.Mutex
-	m  map[string]Failure
+	mu    sync.Mutex
+	m     map[string]Failure
+	memos map[string]MemoStats
 }
 
 // classify maps an evaluation error to a report kind.
@@ -145,18 +146,45 @@ func classify(err error) string {
 	return "failed"
 }
 
-func (r *Report) record(f Failure) {
+// record stores a failure once per cell and reports whether this call
+// was the first sighting (so callers can log without repeating
+// themselves for every memoized observer of the same cell).
+func (r *Report) record(f Failure) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = map[string]Failure{}
+	}
+	if _, ok := r.m[f.Cell]; ok {
+		return false
+	}
+	r.m[f.Cell] = f
+	return true
+}
+
+// SetMemoStats attaches the harness's memo-table statistics snapshot to
+// the report (Harness.MemoStats at end of run).
+func (r *Report) SetMemoStats(stats map[string]MemoStats) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if r.m == nil {
-		r.m = map[string]Failure{}
-	}
-	if _, ok := r.m[f.Cell]; !ok {
-		r.m[f.Cell] = f
-	}
+	r.memos = stats
 	r.mu.Unlock()
+}
+
+// MemoStats returns the attached memo-table statistics, keyed by table
+// name ("analyses", "variants", "results"); nil when never set.
+func (r *Report) MemoStats() map[string]MemoStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memos
 }
 
 // Len reports how many cells were affected.

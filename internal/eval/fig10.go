@@ -1,16 +1,20 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Fig10 reproduces the paper's Fig. 10: which mined subgraphs form each
 // PE variant, and the resulting PE architectures (functional units,
 // constants, inputs, muxes, pipeline stages).
-func (h *Harness) Fig10() (*Table, error) {
+func (h *Harness) Fig10(ctx context.Context) (*Table, error) {
+	_, span := obs.StartSpan(ctx, "fig10")
+	defer span.End()
 	t := &Table{
 		ID:      "Fig. 10",
 		Title:   "Subgraphs merged into each PE variant and resulting architectures",

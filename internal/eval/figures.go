@@ -12,7 +12,24 @@ import (
 	"repro/internal/merge"
 	"repro/internal/mining"
 	"repro/internal/mis"
+	"repro/internal/obs"
 )
+
+// pnrStatus summarizes a result's place-and-route outcome for table
+// rendering: "post-map" when PnR was skipped, "ok/N" after N
+// placement/routing attempts, "est/N" when the retry ladder was
+// exhausted (or the design did not fit) and the row shows the
+// analytical estimate.
+func pnrStatus(r *core.Result) string {
+	switch {
+	case r.Routing != nil:
+		return fmt.Sprintf("ok/%d", r.PnRAttempts)
+	case r.Degraded:
+		return fmt.Sprintf("est/%d", r.PnRAttempts)
+	default:
+		return "post-map"
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Table 1 — application list
@@ -59,9 +76,11 @@ func ConvExample() *ir.Graph {
 
 // Fig3 mines the convolution and reports the most frequent subgraphs
 // (the paper's three have four occurrences each).
-func Fig3() (*Table, []mining.Pattern) {
+func Fig3(ctx context.Context) (*Table, []mining.Pattern) {
+	ctx, span := obs.StartSpan(ctx, "fig3")
+	defer span.End()
 	view, _ := mining.ComputeView(ConvExample())
-	pats := mining.Mine(view, mining.Options{MinSupport: 3, MaxNodes: 3})
+	pats := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 3})
 	t := &Table{
 		ID:      "Fig. 3",
 		Title:   "Frequent subgraph mining on the convolution graph",
@@ -75,7 +94,9 @@ func Fig3() (*Table, []mining.Pattern) {
 
 // Fig4 runs MIS analysis on the Fig. 3d subgraph (mul->add->add): four
 // occurrences, MIS size two.
-func Fig4() (*Table, mis.Ranked) {
+func Fig4(ctx context.Context) (*Table, mis.Ranked) {
+	_, span := obs.StartSpan(ctx, "fig4")
+	defer span.End()
 	view, _ := mining.ComputeView(ConvExample())
 	p := graph.New()
 	m := p.AddNode("mul")
@@ -151,6 +172,8 @@ type LadderResult struct {
 // area/PE, total area, frames/ms/mm^2). pnr enables full place-and-route
 // (required for faithful Table 2 performance).
 func (h *Harness) CameraLadder(ctx context.Context, pnr bool) (*Table, []LadderResult, error) {
+	ctx, span := obs.StartSpan(ctx, "camera_ladder", obs.Bool("pnr", pnr))
+	defer span.End()
 	app := apps.Camera()
 	cells := []evalCell{{app, h.Baseline, pnr, true}}
 	for k := 1; k <= 4; k++ {
@@ -180,7 +203,7 @@ func (h *Harness) CameraLadder(ctx context.Context, pnr bool) (*Table, []LadderR
 	t := &Table{
 		ID:      "Table 2 (and Fig. 11)",
 		Title:   "Camera pipeline on increasingly specialized PEs (1920x1080 frame)",
-		Headers: []string{"PE Variant", "# PEs", "Area/PE (um^2)", "Total Area (um^2)", "PE energy/out (pJ)", "Perf (frames/ms/mm^2)"},
+		Headers: []string{"PE Variant", "# PEs", "Area/PE (um^2)", "Total Area (um^2)", "PE energy/out (pJ)", "Perf (frames/ms/mm^2)", "PnR"},
 	}
 	var out []LadderResult
 	frame := float64(app.TotalOutputs)
@@ -208,7 +231,7 @@ func (h *Harness) CameraLadder(ctx context.Context, pnr bool) (*Table, []LadderR
 		}
 		out = append(out, lr)
 		t.Rows = append(t.Rows, []string{
-			names[i], d(lr.NumPEs), f2(lr.AreaPerPE), f1(lr.TotalArea), f3(lr.PEEnergy), f2(lr.PerfPerMM2),
+			names[i], d(lr.NumPEs), f2(lr.AreaPerPE), f1(lr.TotalArea), f3(lr.PEEnergy), f2(lr.PerfPerMM2), pnrStatus(r),
 		})
 	}
 	_ = frame
@@ -222,6 +245,8 @@ func (h *Harness) CameraLadder(ctx context.Context, pnr bool) (*Table, []LadderR
 // Fig12 compares PE IP, PE IP2, and PE IP3 across the analyzed image
 // apps: merging too many subgraphs (IP2) or merging unevenly (IP3) hurts.
 func (h *Harness) Fig12(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "fig12")
+	defer span.End()
 	var cells []evalCell
 	for _, a := range apps.AnalyzedIP() {
 		cells = append(cells,
@@ -286,6 +311,8 @@ func (h *Harness) Fig12(ctx context.Context) (*Table, map[string]map[string]*cor
 // the baseline and on PE IP: the domain PE must still win (the paper:
 // 12-25% area, 66-78% energy reduction).
 func (h *Harness) Fig13(ctx context.Context) (*Table, map[string][2]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "fig13")
+	defer span.End()
 	var cells []evalCell
 	for _, a := range apps.UnseenIP() {
 		cells = append(cells,
@@ -337,6 +364,8 @@ func (h *Harness) Fig13(ctx context.Context) (*Table, map[string][2]*core.Result
 // per-application specialized PE at the post-mapping level (PE
 // contributions only).
 func (h *Harness) Fig14(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "fig14")
+	defer span.End()
 	if err := h.prefetch(ctx, h.domainSpecCells(false)); err != nil {
 		return nil, nil, err
 	}
@@ -400,6 +429,8 @@ func (h *Harness) domainSpecCells(pnr bool) []evalCell {
 // Fig15 repeats Fig. 14 with full place-and-route: total CGRA area and
 // energy including switch boxes, connection boxes, and memories.
 func (h *Harness) Fig15(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "fig15")
+	defer span.End()
 	if err := h.prefetch(ctx, h.domainSpecCells(true)); err != nil {
 		return nil, nil, err
 	}
@@ -410,7 +441,7 @@ func (h *Harness) Fig15(ctx context.Context) (*Table, map[string]map[string]*cor
 	t := &Table{
 		ID:      "Fig. 15",
 		Title:   "Post-PnR CGRA area and energy (PE + SB + CB + MEM)",
-		Headers: []string{"App", "Variant", "Total area (um^2)", "SB area", "CB area", "Energy/out (pJ)", "Area vs base", "Energy vs base"},
+		Headers: []string{"App", "Variant", "Total area (um^2)", "SB area", "CB area", "Energy/out (pJ)", "Area vs base", "Energy vs base", "PnR"},
 	}
 	results := map[string]map[string]*core.Result{}
 	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
@@ -435,7 +466,7 @@ func (h *Harness) Fig15(ctx context.Context) (*Table, map[string]map[string]*cor
 			}
 			t.Rows = append(t.Rows, []string{
 				a.Name, v.Name, f1(r.TotalArea), f1(r.SBArea), f1(r.CBArea), f3(r.TotalEnergy),
-				pct(rb.TotalArea, r.TotalArea), pct(rb.TotalEnergy, r.TotalEnergy),
+				pct(rb.TotalArea, r.TotalArea), pct(rb.TotalEnergy, r.TotalEnergy), pnrStatus(r),
 			})
 		}
 	}
@@ -448,6 +479,8 @@ func (h *Harness) Fig15(ctx context.Context) (*Table, map[string]map[string]*cor
 
 // Fig16 reports pre- vs post-pipelining area, energy, and perf/mm^2.
 func (h *Harness) Fig16(ctx context.Context) (*Table, map[string]map[string][2]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "fig16")
+	defer span.End()
 	var cells []evalCell
 	for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
 		a := a
@@ -504,6 +537,8 @@ func (h *Harness) Fig16(ctx context.Context) (*Table, map[string]map[string][2]*
 // Table3 reports post-pipelining resource utilization for every
 // (application, PE variant) pair the paper tabulates.
 func (h *Harness) Table3(ctx context.Context) (*Table, map[string]map[string]*core.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "table3")
+	defer span.End()
 	var cells []evalCell
 	allApps := append(apps.AnalyzedIP(), apps.AnalyzedML()...)
 	for _, a := range allApps {
@@ -529,7 +564,7 @@ func (h *Harness) Table3(ctx context.Context) (*Table, map[string]map[string]*co
 	t := &Table{
 		ID:      "Table 3",
 		Title:   "Post-pipelining resource utilization",
-		Headers: []string{"Variant", "App", "#PE", "#MEM", "#RF", "#IO", "#Reg", "#Routing tiles"},
+		Headers: []string{"Variant", "App", "#PE", "#MEM", "#RF", "#IO", "#Reg", "#Routing tiles", "PnR"},
 	}
 	results := map[string]map[string]*core.Result{}
 	addRow := func(label string, a *apps.App, v *core.PEVariant) error {
@@ -542,7 +577,7 @@ func (h *Harness) Table3(ctx context.Context) (*Table, map[string]map[string]*co
 		}
 		results[label][a.Name] = r
 		t.Rows = append(t.Rows, []string{
-			label, a.Name, d(r.NumPEs), d(r.NumMems), d(r.NumRFs), d(r.NumIOs), d(r.NumRegs), d(r.RoutingTiles),
+			label, a.Name, d(r.NumPEs), d(r.NumMems), d(r.NumRFs), d(r.NumIOs), d(r.NumRegs), d(r.RoutingTiles), pnrStatus(r),
 		})
 		return nil
 	}
@@ -589,6 +624,8 @@ func (h *Harness) Table3(ctx context.Context) (*Table, map[string]map[string]*co
 // Fig17 compares FPGA, baseline CGRA, CGRA-IP, and ASIC on the image
 // applications (energy per output and runtime).
 func (h *Harness) Fig17(ctx context.Context, pnr bool) (*Table, error) {
+	ctx, span := obs.StartSpan(ctx, "fig17", obs.Bool("pnr", pnr))
+	defer span.End()
 	var cells []evalCell
 	for _, a := range apps.AnalyzedIP() {
 		cells = append(cells,
@@ -647,6 +684,8 @@ func (h *Harness) Fig17(ctx context.Context, pnr bool) (*Table, error) {
 // Fig18 compares FPGA, baseline CGRA, CGRA-ML, and Simba on the ML
 // applications.
 func (h *Harness) Fig18(ctx context.Context, pnr bool) (*Table, error) {
+	ctx, span := obs.StartSpan(ctx, "fig18", obs.Bool("pnr", pnr))
+	defer span.End()
 	var cells []evalCell
 	for _, a := range apps.AnalyzedML() {
 		cells = append(cells,

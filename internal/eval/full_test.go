@@ -93,7 +93,7 @@ func TestFullPnRSuite(t *testing.T) {
 
 func TestFig10ListsAllVariants(t *testing.T) {
 	h := fastHarness()
-	tab, err := h.Fig10()
+	tab, err := h.Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

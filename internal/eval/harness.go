@@ -11,16 +11,19 @@ package eval
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -58,6 +61,13 @@ type Harness struct {
 	// Report collects per-cell failures and degradations (always, not
 	// only under KeepGoing).
 	Report *Report
+	// Progress, when non-nil, receives cell start/finish events for the
+	// CLI liveness line. It never affects results.
+	Progress *obs.Progress
+
+	// obs is the run's observability bundle (SetObs); nil keeps every
+	// instrumentation point on its zero-cost disabled path.
+	obs *obs.Obs
 
 	analyses *memoTable[*core.Analysis]
 	variants *memoTable[*core.PEVariant]
@@ -75,20 +85,59 @@ func NewHarness() *Harness {
 	}
 }
 
+// SetObs installs the run's observability bundle on the harness and its
+// memo tables. Call it before the first evaluation; nil disables
+// everything (the default).
+func (h *Harness) SetObs(o *obs.Obs) {
+	h.obs = o
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Metrics
+	}
+	h.analyses.instrument("analyses", reg)
+	h.variants.instrument("variants", reg)
+	h.results.instrument("results", reg)
+}
+
+// MemoStats snapshots the cache-effectiveness counters of the three
+// memo tables, keyed by table name.
+func (h *Harness) MemoStats() map[string]MemoStats {
+	return map[string]MemoStats{
+		"analyses": h.analyses.Stats(),
+		"variants": h.variants.Stats(),
+		"results":  h.results.Stats(),
+	}
+}
+
+// buildCtx is the context memoized builds run under: the observability
+// bundle attached to a fresh background context. Memoized work runs in
+// whichever racing goroutine reaches the table first, so parenting its
+// spans under that goroutine's current span would make the span tree
+// depend on scheduling; rooting every build at the run span keeps the
+// tree identical across worker counts. It also detaches builds from any
+// one caller's deadline — shared front-end work runs to completion.
+func (h *Harness) buildCtx() context.Context {
+	return h.obs.Context(context.Background())
+}
+
 // Analysis returns the mined analysis of an application, cached. Analyses
 // and variant builds are pure CPU-bound front-end work shared by many
 // cells, so they run to completion regardless of any one cell's deadline
 // (the memo wait uses a background context).
 func (h *Harness) Analysis(app *apps.App) *core.Analysis {
 	a, _ := h.analyses.do(context.Background(), app.Name, func() (*core.Analysis, error) {
-		return h.FW.Analyze(app), nil
+		return h.FW.Analyze(h.buildCtx(), app), nil
 	})
 	return a
 }
 
-// Variant builds (or returns cached) a named PE variant.
-func (h *Harness) Variant(name string, build func() (*core.PEVariant, error)) (*core.PEVariant, error) {
-	v, err := h.variants.do(context.Background(), name, build)
+// Variant builds (or returns cached) a named PE variant. The build
+// function receives the harness's build context (observability attached,
+// no caller deadline — see buildCtx).
+func (h *Harness) Variant(name string, build func(ctx context.Context) (*core.PEVariant, error)) (*core.PEVariant, error) {
+	v, err := h.variants.do(context.Background(), name, func() (*core.PEVariant, error) {
+		return build(h.buildCtx())
+	})
 	if err != nil {
 		return nil, fmt.Errorf("eval: variant %s: %w", name, err)
 	}
@@ -104,9 +153,9 @@ func (h *Harness) Baseline() (*core.PEVariant, error) {
 // paper's "PE Spec"): the app-restricted baseline merged with the top
 // three subgraphs.
 func (h *Harness) SpecializedPE(app *apps.App) (*core.PEVariant, error) {
-	return h.Variant("spec_"+app.Name, func() (*core.PEVariant, error) {
+	return h.Variant("spec_"+app.Name, func(ctx context.Context) (*core.PEVariant, error) {
 		chosen := core.SelectPatterns(h.Analysis(app), 3)
-		return h.FW.GeneratePE("spec_"+app.Name, app.UsedOps(), chosen)
+		return h.FW.GeneratePE(ctx, "spec_"+app.Name, app.UsedOps(), chosen)
 	})
 }
 
@@ -114,9 +163,9 @@ func (h *Harness) SpecializedPE(app *apps.App) (*core.PEVariant, error) {
 // the top (k-1) subgraphs. k=1 is PE 1.
 func (h *Harness) LadderPE(app *apps.App, k int) (*core.PEVariant, error) {
 	name := fmt.Sprintf("%s_pe%d", app.Name, k)
-	return h.Variant(name, func() (*core.PEVariant, error) {
+	return h.Variant(name, func(ctx context.Context) (*core.PEVariant, error) {
 		chosen := core.SelectPatterns(h.Analysis(app), k-1)
-		return h.FW.GeneratePE(name, app.UsedOps(), chosen)
+		return h.FW.GeneratePE(ctx, name, app.UsedOps(), chosen)
 	})
 }
 
@@ -124,7 +173,7 @@ func (h *Harness) LadderPE(app *apps.App, k int) (*core.PEVariant, error) {
 // operation sets plus perApp top subgraphs from each (cameraExtra adds
 // more camera subgraphs — the paper's unbalanced PE IP3).
 func (h *Harness) DomainPE(name string, members []*apps.App, perApp int, extra map[string]int) (*core.PEVariant, error) {
-	return h.Variant(name, func() (*core.PEVariant, error) {
+	return h.Variant(name, func(ctx context.Context) (*core.PEVariant, error) {
 		var named []rewrite.NamedPattern
 		seen := map[string]bool{}
 		for _, a := range members {
@@ -144,7 +193,7 @@ func (h *Harness) DomainPE(name string, members []*apps.App, perApp int, extra m
 				named = append(named, np)
 			}
 		}
-		return h.FW.GeneratePEFromPatterns(name, core.UnionOps(members), named)
+		return h.FW.GeneratePEFromPatterns(ctx, name, core.UnionOps(members), named)
 	})
 }
 
@@ -190,10 +239,14 @@ func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant
 	key := fmt.Sprintf("%s|%s|%v|%v", app.Name, v.Name, pnr, pipelined)
 	cell := app.Name + "|" + v.Name
 	r, err := h.results.do(ctx, key, func() (*core.Result, error) {
-		cctx := ctx
+		// Re-attach the observability bundle over the caller's context:
+		// cancellation still flows from the caller, but the "evaluate"
+		// span re-roots at the run span, so the span tree does not depend
+		// on which racing goroutine won the memo entry.
+		cctx := h.obs.Context(ctx)
 		if h.CellTimeout > 0 {
 			var cancel context.CancelFunc
-			cctx, cancel = context.WithTimeout(ctx, h.CellTimeout)
+			cctx, cancel = context.WithTimeout(cctx, h.CellTimeout)
 			defer cancel()
 		}
 		opt := core.EvalOptions{PnR: pnr, Pipelined: pipelined}
@@ -207,11 +260,22 @@ func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant
 	})
 	switch {
 	case err != nil:
-		h.Report.record(Failure{Cell: key, Kind: classify(err), Err: err.Error()})
+		if h.Report.record(Failure{Cell: key, Kind: classify(err), Err: err.Error()}) {
+			h.logger().Warn("evaluation cell failed",
+				"cell", key, "kind", classify(err), "err", err.Error())
+		}
 	case r.Degraded:
 		h.Report.record(Failure{Cell: key, Kind: "degraded", Err: r.DegradedReason})
 	}
 	return r, err
+}
+
+// logger returns the harness's structured logger (never nil).
+func (h *Harness) logger() *slog.Logger {
+	if h.obs != nil && h.obs.Logger != nil {
+		return h.obs.Logger
+	}
+	return obs.Logger(context.Background())
 }
 
 // workers resolves the effective worker-pool size.
@@ -233,9 +297,26 @@ func (h *Harness) parallel(ctx context.Context, jobs []func() error) error {
 	if n > len(jobs) {
 		n = len(jobs)
 	}
+	// Scheduling metrics live under the sched.* prefix: they describe the
+	// run (queue wait, run time, concurrency watermark), are inherently
+	// worker-count dependent, and are excluded from the determinism
+	// comparisons. reg==nil keeps the hot path free of clock reads.
+	var reg *obs.Registry
+	if h.obs != nil {
+		reg = h.obs.Metrics
+	}
+	if reg != nil {
+		reg.Counter("sched.jobs").Add(int64(len(jobs)))
+		reg.Gauge("sched.workers").Set(int64(n))
+	}
 	if n <= 1 {
 		for _, job := range jobs {
-			if err := job(); err != nil && !h.KeepGoing {
+			start := time.Now()
+			err := job()
+			if reg != nil {
+				reg.Histogram("sched.run_us").Observe(time.Since(start).Microseconds())
+			}
+			if err != nil && !h.KeepGoing {
 				return err
 			}
 			if err := fault.Canceled(ctx); err != nil {
@@ -246,13 +327,28 @@ func (h *Harness) parallel(ctx context.Context, jobs []func() error) error {
 	}
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, n)
+	var active atomic.Int64
 	var wg sync.WaitGroup
 	for i, job := range jobs {
 		wg.Add(1)
+		var queued time.Time
+		if reg != nil {
+			queued = time.Now()
+		}
 		sem <- struct{}{}
 		go func(i int, job func() error) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			var start time.Time
+			if reg != nil {
+				start = time.Now()
+				reg.Histogram("sched.queue_wait_us").Observe(start.Sub(queued).Microseconds())
+				reg.Gauge("sched.peak_goroutines").Max(active.Add(1))
+				defer func() {
+					active.Add(-1)
+					reg.Histogram("sched.run_us").Observe(time.Since(start).Microseconds())
+				}()
+			}
 			errs[i] = job()
 		}(i, job)
 	}
@@ -283,10 +379,12 @@ type evalCell struct {
 // drivers call this before assembling rows serially from the (now warm)
 // caches: completion order cannot affect row order or numbers.
 func (h *Harness) prefetch(ctx context.Context, cells []evalCell) error {
+	h.Progress.Add(len(cells))
 	jobs := make([]func() error, len(cells))
 	for i, c := range cells {
 		c := c
 		jobs[i] = func() error {
+			defer h.Progress.Done(1)
 			v, err := c.variant()
 			if err != nil {
 				return err

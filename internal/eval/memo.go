@@ -3,8 +3,10 @@ package eval
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // memoTable is a concurrency-safe, singleflight-style memo cache. The
@@ -24,9 +26,25 @@ import (
 // like any other failure, and the done channel closes no matter how the
 // build exits — one poisoned cell can neither take down the worker pool
 // nor deadlock the other goroutines waiting on its key.
+//
+// Every lookup is counted (Stats); an instrumented table additionally
+// records the worker-count-invariant counters memo.<name>.lookups and
+// memo.<name>.miss in the run's metrics registry. The hit/coalesced
+// split is deliberately kept out of the registry: whether a duplicate
+// caller finds the entry finished (hit) or still in flight (coalesced)
+// depends on scheduling, and the registry dump must stay byte-identical
+// across worker counts.
 type memoTable[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
+
+	name string
+	reg  *obs.Registry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	panics    atomic.Int64
 }
 
 type memoEntry[V any] struct {
@@ -39,15 +57,54 @@ func newMemoTable[V any]() *memoTable[V] {
 	return &memoTable[V]{entries: map[string]*memoEntry[V]{}}
 }
 
+// instrument names the table and attaches the metrics registry its
+// invariant counters go to (nil detaches).
+func (t *memoTable[V]) instrument(name string, reg *obs.Registry) {
+	t.name, t.reg = name, reg
+}
+
+// MemoStats is a point-in-time snapshot of one memo table's cache
+// effectiveness: Hits found a finished entry, Coalesced joined an
+// in-flight build (singleflight sharing), Misses ran the build, and
+// Panics counts builds that hit the recover boundary.
+type MemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Panics    int64 `json:"panics"`
+}
+
+// Lookups is the total number of do calls the stats cover.
+func (s MemoStats) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
+
+// Stats snapshots the table's counters.
+func (t *memoTable[V]) Stats() MemoStats {
+	return MemoStats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Coalesced: t.coalesced.Load(),
+		Panics:    t.panics.Load(),
+	}
+}
+
 // do returns the memoized value for key, running build at most once per
 // key across all goroutines. A caller waiting on another goroutine's
 // in-flight build stops waiting when ctx is canceled (the build itself
 // keeps running and its result stays cached for later callers); the
 // builder's own ctx handling is the build function's business.
 func (t *memoTable[V]) do(ctx context.Context, key string, build func() (V, error)) (V, error) {
+	if t.reg != nil {
+		t.reg.Counter("memo." + t.name + ".lookups").Add(1)
+	}
 	t.mu.Lock()
 	if e, ok := t.entries[key]; ok {
 		t.mu.Unlock()
+		select {
+		case <-e.done:
+			t.hits.Add(1)
+		default:
+			t.coalesced.Add(1)
+		}
 		select {
 		case <-e.done:
 			return e.val, e.err
@@ -59,10 +116,15 @@ func (t *memoTable[V]) do(ctx context.Context, key string, build func() (V, erro
 	e := &memoEntry[V]{done: make(chan struct{})}
 	t.entries[key] = e
 	t.mu.Unlock()
+	t.misses.Add(1)
+	if t.reg != nil {
+		t.reg.Counter("memo." + t.name + ".miss").Add(1)
+	}
 
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
+				t.panics.Add(1)
 				e.err = fault.AsPanic("eval: build "+key, rec)
 			}
 			close(e.done)

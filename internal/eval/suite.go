@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Suite runs every experiment in the canonical report order and returns
@@ -19,6 +20,8 @@ import (
 // clean run, and the per-cell errors are in h.Report. Cancellation of
 // ctx still aborts the whole suite with fault.ErrCanceled.
 func (h *Harness) Suite(ctx context.Context, pnr bool) ([]*Table, error) {
+	ctx, span := obs.StartSpan(ctx, "suite", obs.Bool("pnr", pnr))
+	defer span.End()
 	var tables []*Table
 	add := func(t *Table, err error) error {
 		if err != nil {
@@ -31,13 +34,13 @@ func (h *Harness) Suite(ctx context.Context, pnr bool) ([]*Table, error) {
 		return nil
 	}
 	tables = append(tables, Table1())
-	t3, _ := Fig3()
+	t3, _ := Fig3(ctx)
 	tables = append(tables, t3)
-	t4, _ := Fig4()
+	t4, _ := Fig4(ctx)
 	tables = append(tables, t4)
 	t5, _ := Fig5()
 	tables = append(tables, t5)
-	if err := add(h.Fig10()); err != nil {
+	if err := add(h.Fig10(ctx)); err != nil {
 		return nil, err
 	}
 	{

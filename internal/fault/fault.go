@@ -20,14 +20,19 @@
 //     surfaced as a per-cell error instead of a process crash.
 //   - ErrInjected — a deterministic test fault (see eval.FaultPlan).
 //
-// fault is a leaf package: it imports only the standard library, so any
-// layer of the stack can depend on it without cycles.
+// fault sits at the bottom of the stack: it imports only the standard
+// library and the (equally leaf-like) obs package, so any layer can
+// depend on it without cycles. Cancellation polls are counted in the
+// run's metrics registry (sched.cancel.polls) when one is attached to
+// the context.
 package fault
 
 import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Sentinel errors classifying every failure the pipeline can produce.
@@ -81,6 +86,7 @@ func Injectedf(format string, args ...any) error {
 // context error (context.Canceled / context.DeadlineExceeded) via
 // errors.Is, so callers can still distinguish timeout from cancel.
 func Canceled(ctx context.Context) error {
+	obs.Add(ctx, "sched.cancel.polls", 1)
 	cause := ctx.Err()
 	if cause == nil {
 		return nil

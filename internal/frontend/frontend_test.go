@@ -1,6 +1,8 @@
 package frontend
 
 import (
+	"context"
+
 	"math/rand"
 	"strings"
 	"testing"
@@ -147,7 +149,7 @@ out o = clamp(s >> 2, 0, 255)
 `
 	g := compileOK(t, src)
 	view, _ := mining.ComputeView(g)
-	pats := mining.Mine(view, mining.Options{MinSupport: 2, MaxNodes: 4})
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 4})
 	if len(pats) == 0 {
 		t.Fatal("compiled kernel mined no patterns")
 	}

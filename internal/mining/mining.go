@@ -11,10 +11,12 @@
 package mining
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Pattern is a mined frequent subgraph together with its occurrences.
@@ -75,15 +77,23 @@ func (o Options) withDefaults() Options {
 
 // Mine returns the frequent subgraphs of target, sorted by support
 // descending then size descending (larger first among equals), then
-// canonical code for determinism.
-func Mine(target *graph.Graph, opt Options) []Pattern {
+// canonical code for determinism. Each growth pass (one pattern-size
+// round of the gSpan-style frontier) is traced as a "mine.pass" span
+// when the context carries a tracer.
+func Mine(ctx context.Context, target *graph.Graph, opt Options) []Pattern {
 	opt = opt.withDefaults()
 
+	_, seedSpan := obs.StartSpan(ctx, "mine.seed")
 	frontier := seedPatterns(target, opt)
+	seedSpan.SetAttrs(obs.Int("seeds", len(frontier)))
+	seedSpan.End()
+
 	seen := make(map[string]bool)
 	var results []Pattern
 
-	for len(frontier) > 0 {
+	for round := 1; len(frontier) > 0; round++ {
+		_, passSpan := obs.StartSpan(ctx, "mine.pass",
+			obs.Int("round", round), obs.Int("frontier", len(frontier)))
 		var next []Pattern
 		for _, p := range frontier {
 			if p.Support >= opt.MinSupport && p.ComputeSize() >= opt.MinComputeNodes {
@@ -111,7 +121,9 @@ func Mine(target *graph.Graph, opt Options) []Pattern {
 			}
 		}
 		frontier = next
+		passSpan.End()
 	}
+	obs.Add(ctx, "mine.patterns", int64(len(results)))
 
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Support != results[j].Support {

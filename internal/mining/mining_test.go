@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/apps"
@@ -34,7 +36,7 @@ func convGraph() *ir.Graph {
 func mineConv(t *testing.T, minSupport int) []Pattern {
 	t.Helper()
 	view, _ := ComputeView(convGraph())
-	return Mine(view, Options{MinSupport: minSupport, MaxNodes: 6})
+	return Mine(context.Background(), view, Options{MinSupport: minSupport, MaxNodes: 6})
 }
 
 func findPattern(pats []Pattern, want *graph.Graph) *Pattern {
@@ -136,7 +138,7 @@ func TestPatternsConnectedAndDeduped(t *testing.T) {
 
 func TestMaxNodesRespected(t *testing.T) {
 	view, _ := ComputeView(convGraph())
-	for _, p := range Mine(view, Options{MinSupport: 2, MaxNodes: 3}) {
+	for _, p := range Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 3}) {
 		if p.Size() > 3 {
 			t.Errorf("pattern %s exceeds MaxNodes=3 (%d nodes)", p.Code, p.Size())
 		}
@@ -189,7 +191,7 @@ func TestMineCameraPipeline(t *testing.T) {
 	// pattern set that includes a multiply-accumulate shape (from the
 	// color-correction matrix).
 	view, _ := ComputeView(apps.Camera().Graph)
-	pats := Mine(view, Options{MinSupport: 8, MaxNodes: 5})
+	pats := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 5})
 	if len(pats) == 0 {
 		t.Fatal("no frequent patterns in camera pipeline")
 	}
@@ -212,7 +214,7 @@ func BenchmarkMineConv(b *testing.B) {
 	view, _ := ComputeView(convGraph())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Mine(view, Options{MinSupport: 2, MaxNodes: 6})
+		Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 6})
 	}
 }
 
@@ -221,6 +223,6 @@ func BenchmarkMineCamera(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Mine(view, Options{MinSupport: 8, MaxNodes: 4})
+		Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4})
 	}
 }

@@ -8,10 +8,12 @@
 package mis
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mining"
+	"repro/internal/obs"
 )
 
 // Ranked is a pattern with its occurrence-overlap analysis attached.
@@ -38,6 +40,15 @@ type Ranked struct {
 // which makes ranking conservative.
 const ExactThreshold = 40
 
+// analyzeTraced is Analyze under a per-pattern span.
+func analyzeTraced(ctx context.Context, p mining.Pattern) Ranked {
+	_, span := obs.StartSpan(ctx, "mis.analyze", obs.Int("embeddings", len(p.Embeddings)))
+	r := Analyze(p)
+	span.SetAttrs(obs.Int("occurrences", len(r.Occurrences)), obs.Int("mis", r.MISSize))
+	span.End()
+	return r
+}
+
 // Analyze computes the occurrence-overlap MIS for one pattern.
 func Analyze(p mining.Pattern) Ranked {
 	occ := dedupeBySet(p.Embeddings)
@@ -61,11 +72,13 @@ func Analyze(p mining.Pattern) Ranked {
 }
 
 // Rank analyzes every pattern and sorts by MIS size descending; ties break
-// toward larger patterns (more compute per PE), then canonical code.
-func Rank(patterns []mining.Pattern) []Ranked {
+// toward larger patterns (more compute per PE), then canonical code. Each
+// pattern's overlap-graph MIS round is traced as a "mis.analyze" span when
+// the context carries a tracer.
+func Rank(ctx context.Context, patterns []mining.Pattern) []Ranked {
 	ranked := make([]Ranked, len(patterns))
 	for i, p := range patterns {
-		ranked[i] = Analyze(p)
+		ranked[i] = analyzeTraced(ctx, p)
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].MISSize != ranked[j].MISSize {
@@ -91,10 +104,10 @@ func Rank(patterns []mining.Pattern) []Ranked {
 
 // RankByFrequency sorts patterns by raw embedding count instead of MIS
 // size — the ablation baseline for the paper's MIS-guided ranking.
-func RankByFrequency(patterns []mining.Pattern) []Ranked {
+func RankByFrequency(ctx context.Context, patterns []mining.Pattern) []Ranked {
 	ranked := make([]Ranked, len(patterns))
 	for i, p := range patterns {
-		ranked[i] = Analyze(p)
+		ranked[i] = analyzeTraced(ctx, p)
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		fi, fj := len(ranked[i].Occurrences), len(ranked[j].Occurrences)

@@ -1,6 +1,8 @@
 package mis
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/graph"
@@ -102,7 +104,7 @@ func TestRankOrdersByMIS(t *testing.T) {
 		a := p.AddNode("add")
 		p.AddEdge(m, a, 0)
 	})
-	ranked := Rank([]mining.Pattern{mulAddAdd, mulAdd})
+	ranked := Rank(context.Background(), []mining.Pattern{mulAddAdd, mulAdd})
 	// mul->add has MIS 4 (disjoint), mul->add->add has MIS 2.
 	if ranked[0].MISSize < ranked[1].MISSize {
 		t.Fatalf("ranking not descending: %d then %d", ranked[0].MISSize, ranked[1].MISSize)
@@ -129,8 +131,8 @@ func TestRankByFrequencyDiffersFromMIS(t *testing.T) {
 		p.AddEdge(m, a1, 0)
 		p.AddEdge(a1, a2, 0)
 	})
-	byMIS := Rank([]mining.Pattern{a, b})
-	byFreq := RankByFrequency([]mining.Pattern{a, b})
+	byMIS := Rank(context.Background(), []mining.Pattern{a, b})
+	byFreq := RankByFrequency(context.Background(), []mining.Pattern{a, b})
 	if len(byMIS) != 2 || len(byFreq) != 2 {
 		t.Fatal("rankings lost patterns")
 	}
@@ -138,7 +140,7 @@ func TestRankByFrequencyDiffersFromMIS(t *testing.T) {
 
 func TestMISSizeNeverExceedsOccurrences(t *testing.T) {
 	view := convView()
-	pats := mining.Mine(view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
 	for _, p := range pats {
 		r := Analyze(p)
 		if r.MISSize > len(r.Occurrences) {
@@ -152,7 +154,7 @@ func TestMISSizeNeverExceedsOccurrences(t *testing.T) {
 
 func TestIndependentSetIsActuallyIndependent(t *testing.T) {
 	view := convView()
-	pats := mining.Mine(view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
 	for _, p := range pats {
 		r := Analyze(p)
 		used := map[graph.NodeID]int{}

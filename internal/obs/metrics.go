@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a concurrent registry of named counters, gauges, and
+// histograms. Instruments are created on first use and live for the
+// registry's lifetime; updates are lock-free atomics, so hot pipeline
+// loops can record without contending. Dumps are sorted by name, so two
+// runs recording the same values dump byte-identically.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value (Set) or high-watermark (Max) instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Max raises the gauge to n if n is larger (a high-watermark update).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are the power-of-two upper bounds of Histogram; the last
+// implicit bucket is +Inf.
+var histBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Histogram counts observations into power-of-two buckets and tracks
+// count/sum/min/max. Observations are unitless int64s; callers pick the
+// unit (iterations, microseconds, ...) and name the instrument after it.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [len(histBuckets) + 1]atomic.Int64
+}
+
+// newHistogram returns a histogram whose min starts at the MaxInt64
+// sentinel, so concurrent first observations cannot race past each
+// other.
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.sum.Add(v)
+	i := sort.Search(len(histBuckets), func(i int) bool { return v <= histBuckets[i] })
+	h.buckets[i].Add(1)
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// InstrumentSnap is one counter or gauge in a snapshot.
+type InstrumentSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: LE is the inclusive
+// upper bound ("+Inf" for the overflow bucket).
+type BucketSnap struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnap is one histogram in a snapshot.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// RegistrySnap is a point-in-time copy of a registry, with every
+// section sorted by name (the JSON export and the text dump share it).
+type RegistrySnap struct {
+	Counters   []InstrumentSnap `json:"counters"`
+	Gauges     []InstrumentSnap `json:"gauges"`
+	Histograms []HistogramSnap  `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values, sorted by name.
+func (r *Registry) Snapshot() RegistrySnap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var snap RegistrySnap
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, InstrumentSnap{name, c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, InstrumentSnap{name, g.Value()})
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnap{
+			Name:  name,
+			Count: h.count.Load(),
+			Sum:   h.sum.Load(),
+			Min:   h.min.Load(),
+			Max:   h.max.Load(),
+		}
+		if hs.Count == 0 {
+			hs.Min = 0
+		}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(histBuckets) {
+				le = strconv.FormatInt(histBuckets[i], 10)
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{le, n})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}
+
+// DumpText renders the registry as the deterministic sorted text form:
+// one "counter <name> <value>" / "gauge <name> <value>" line per
+// instrument and a header plus indented non-empty buckets per
+// histogram.
+func (r *Registry) DumpText(w io.Writer) {
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(w, "histogram %s count=%d sum=%d min=%d max=%d\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "  le=%s %d\n", b.LE, b.Count)
+		}
+	}
+}
+
+// String returns DumpText as a string.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.DumpText(&b)
+	return b.String()
+}
+
+// Metrics returns the registry carried by ctx, or nil when metrics are
+// disabled.
+func Metrics(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey).(*Registry)
+	return r
+}
+
+// Add bumps the named counter in ctx's registry; zero-allocation no-op
+// when the context carries no registry.
+func Add(ctx context.Context, name string, n int64) {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok {
+		r.Counter(name).Add(n)
+	}
+}
+
+// MaxGauge raises the named high-watermark gauge; no-op without a
+// registry.
+func MaxGauge(ctx context.Context, name string, v int64) {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok {
+		r.Gauge(name).Max(v)
+	}
+}
+
+// SetGauge stores the named gauge value; no-op without a registry.
+func SetGauge(ctx context.Context, name string, v int64) {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok {
+		r.Gauge(name).Set(v)
+	}
+}
+
+// Observe records a histogram value; no-op without a registry.
+func Observe(ctx context.Context, name string, v int64) {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok {
+		r.Histogram(name).Observe(v)
+	}
+}
+
+// ObserveSince records the microseconds elapsed since start in the
+// named histogram; no-op (and no clock read) without a registry.
+func ObserveSince(ctx context.Context, name string, start time.Time) {
+	if r, ok := ctx.Value(metricsKey).(*Registry); ok {
+		r.Histogram(name).Observe(time.Since(start).Microseconds())
+	}
+}

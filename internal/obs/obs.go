@@ -1,0 +1,94 @@
+// Package obs is the pipeline's observability layer: lightweight spans
+// (exportable as a human-readable tree or a Chrome trace_event file),
+// a concurrent metrics registry (counters, gauges, histograms with a
+// deterministic text dump), structured logging behind log/slog, and
+// profiling hooks for the CLIs.
+//
+// The layer is opt-in through the context: a context without a tracer,
+// registry, or logger makes every instrumentation call a no-op that
+// performs zero heap allocations, so instrumented library code costs
+// (almost) nothing when observability is disabled and the byte-identical
+// determinism guarantees of the evaluation harness are unaffected.
+//
+// obs is a leaf package — it imports only the standard library — so any
+// layer of the stack (including internal/fault) can depend on it without
+// cycles.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+)
+
+// ctxKey distinguishes the obs context values.
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	metricsKey
+	loggerKey
+)
+
+// Obs bundles the three observability facilities a run carries. Any
+// field may be nil; Context installs only what is present. A nil *Obs
+// is valid and installs nothing.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Logger  *slog.Logger
+}
+
+// Context returns ctx with the bundle's facilities attached. Library
+// code retrieves them with StartSpan, Add/Observe, and Logger.
+func (o *Obs) Context(ctx context.Context) context.Context {
+	if o == nil {
+		return ctx
+	}
+	if o.Metrics != nil {
+		ctx = context.WithValue(ctx, metricsKey, o.Metrics)
+	}
+	if o.Logger != nil {
+		ctx = context.WithValue(ctx, loggerKey, o.Logger)
+	}
+	if o.Tracer != nil {
+		ctx = o.Tracer.Context(ctx)
+	}
+	return ctx
+}
+
+// Attr is one span attribute. It is a small value type whose
+// constructors never allocate: strings are stored as-is and numbers stay
+// numeric until export time, so building attributes for a disabled span
+// costs nothing on the heap.
+type Attr struct {
+	Key   string
+	str   string
+	num   int64
+	isNum bool
+}
+
+// String returns a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, str: value} }
+
+// Int returns an integer-valued attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, num: int64(value), isNum: true} }
+
+// Int64 returns an integer-valued attribute.
+func Int64(key string, value int64) Attr { return Attr{Key: key, num: value, isNum: true} }
+
+// Bool returns a boolean-valued attribute.
+func Bool(key string, value bool) Attr {
+	if value {
+		return Attr{Key: key, str: "true"}
+	}
+	return Attr{Key: key, str: "false"}
+}
+
+// Value renders the attribute value (allocating only now, at export).
+func (a Attr) Value() string {
+	if a.isNum {
+		return strconv.FormatInt(a.num, 10)
+	}
+	return a.str
+}

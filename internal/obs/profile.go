@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a GC-fresh heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: memprofile: %w", err)
+	}
+	return nil
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable
+// "apex_metrics" (served on /debug/vars). Safe to call more than once;
+// only the first registry wins, matching expvar's publish-once model.
+func PublishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("apex_metrics", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// ServePprof serves net/http/pprof (/debug/pprof) and expvar
+// (/debug/vars, including the registry when non-nil) on addr in a
+// background goroutine. The listen error is returned synchronously so a
+// bad -pprof address fails the CLI immediately.
+func ServePprof(addr string, r *Registry) error {
+	if r != nil {
+		PublishExpvar(r)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go http.Serve(ln, nil) // lint:allow-diag: serves until process exit
+	return nil
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the liveness signal for long runs: a background ticker
+// prints "progress: done/total cells, elapsed, ETA" to w at most once
+// per interval, and only when the counts changed since the last line.
+// Add/Done are lock-free, so workers update it from the hot path.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+	total    atomic.Int64
+	done     atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartProgress begins emitting progress lines to w every interval
+// (2s when interval is 0). Call Stop to end the reporter.
+func StartProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{w: w, interval: interval, start: time.Now(), stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Add grows the expected total by n cells.
+func (p *Progress) Add(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// Done marks n cells finished.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Stop ends the reporter; it never prints again after Stop returns.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	var lastDone, lastTotal int64 = -1, -1
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			done, total := p.done.Load(), p.total.Load()
+			if done == lastDone && total == lastTotal {
+				continue
+			}
+			lastDone, lastTotal = done, total
+			elapsed := time.Since(p.start).Round(time.Second)
+			eta := "?"
+			if done > 0 && total >= done {
+				rem := time.Duration(float64(time.Since(p.start)) / float64(done) * float64(total-done))
+				eta = rem.Round(time.Second).String()
+			}
+			fmt.Fprintf(p.w, "progress: %d/%d cells, elapsed %s, eta %s\n", done, total, elapsed, eta)
+		}
+	}
+}
+
+// IsTerminal reports whether f is attached to a terminal (character
+// device) — the progress reporter only runs interactively.
+func IsTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans for one run. It is safe for concurrent use: the
+// worker pool's goroutines all End spans into the same tracer. The zero
+// cost of tracing-off comes from the context, not the tracer: a context
+// without a span in it makes StartSpan return a nil *Span without
+// touching the clock or the heap.
+type Tracer struct {
+	start   time.Time
+	root    *Span
+	metrics *Registry
+
+	mu    sync.Mutex
+	spans []*Span // ended spans, in End order
+}
+
+// NewTracer returns a tracer whose implicit root span ("run") starts
+// now.
+func NewTracer() *Tracer {
+	t := &Tracer{start: time.Now()}
+	t.root = &Span{tracer: t, name: "run", start: t.start}
+	return t
+}
+
+// LinkMetrics makes every ended span bump the counter "span.<name>" in
+// the registry, so the metrics dump covers the span taxonomy too.
+func (t *Tracer) LinkMetrics(r *Registry) { t.metrics = r }
+
+// Context returns ctx with the tracer's root span attached; spans
+// started from the returned context (and its descendants) are recorded.
+func (t *Tracer) Context(ctx context.Context) context.Context {
+	return context.WithValue(ctx, spanKey, t.root)
+}
+
+// Span is one timed region of the pipeline. A nil *Span (what StartSpan
+// returns when tracing is off) is valid: End and SetAttrs are no-ops.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	attrs  []Attr
+	start  time.Time
+	dur    time.Duration
+}
+
+// StartSpan opens a child span of the span carried by ctx and returns a
+// context carrying the new span. When ctx carries no span — tracing is
+// disabled — it returns (ctx, nil) without allocating or reading the
+// clock; the caller's deferred End() on the nil span is a no-op.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: parent.tracer, parent: parent, name: name, start: time.Now()}
+	if len(attrs) > 0 {
+		s.attrs = append([]Attr(nil), attrs...)
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttrs appends attributes to the span (no-op on nil). Only the
+// goroutine that started the span may call it, and only before End.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End stamps the span's duration and hands it to the tracer. No-op on a
+// nil span. Safe to call from any goroutine; each span ends once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.start)
+	t := s.tracer
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	if t.metrics != nil {
+		t.metrics.Counter("span." + s.name).Add(1)
+	}
+}
+
+// SpanCount reports how many spans have ended so far (the root is not
+// counted).
+func (t *Tracer) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// treeNode is the exported-tree form of a span.
+type treeNode struct {
+	span     *Span
+	children []*treeNode
+}
+
+// tree snapshots the ended spans into a parent/child tree rooted at the
+// run span. A span whose parent has not ended (and is not the root)
+// attaches to its nearest materialized ancestor.
+func (t *Tracer) tree() *treeNode {
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+
+	nodes := map[*Span]*treeNode{t.root: {span: t.root}}
+	for _, s := range spans {
+		nodes[s] = &treeNode{span: s}
+	}
+	for _, s := range spans {
+		p := s.parent
+		for p != nil {
+			if pn, ok := nodes[p]; ok {
+				pn.children = append(pn.children, nodes[s])
+				break
+			}
+			p = p.parent
+		}
+	}
+	return nodes[t.root]
+}
+
+// label renders a span's name and attributes: name{k=v,k2=v2}.
+func (s *Span) label() string {
+	if len(s.attrs) == 0 {
+		return s.name
+	}
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// TreeString renders the span tree as indented text. With showTimes the
+// children keep chronological order and carry durations; without it the
+// output is canonical — children sorted by their rendered subtrees, no
+// times — so two runs of the same work render byte-identically no
+// matter how the scheduler interleaved them (the determinism tests
+// compare this form across worker counts).
+func (t *Tracer) TreeString(showTimes bool) string {
+	var b strings.Builder
+	writeTree(&b, t.tree(), 0, showTimes)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, n *treeNode, depth int, showTimes bool) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.span.label())
+	if showTimes && n.span.dur > 0 {
+		fmt.Fprintf(b, " %s", n.span.dur.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	children := append([]*treeNode(nil), n.children...)
+	if showTimes {
+		sort.SliceStable(children, func(i, j int) bool {
+			return children[i].span.start.Before(children[j].span.start)
+		})
+	} else {
+		type keyed struct {
+			key  string
+			node *treeNode
+		}
+		pairs := make([]keyed, len(children))
+		for i, c := range children {
+			var cb strings.Builder
+			writeTree(&cb, c, 0, false)
+			pairs[i] = keyed{cb.String(), c}
+		}
+		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+		for i, p := range pairs {
+			children[i] = p.node
+		}
+	}
+	for _, c := range children {
+		writeTree(b, c, depth+1, showTimes)
+	}
+}
+
+// StageCost aggregates all spans sharing one name.
+type StageCost struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// StageCosts aggregates ended spans by name, sorted by total time
+// descending (name breaks ties) — the per-stage cost summary apex-eval
+// prints at the end of a run.
+func (t *Tracer) StageCosts() []StageCost {
+	t.mu.Lock()
+	byName := map[string]*StageCost{}
+	for _, s := range t.spans {
+		c := byName[s.name]
+		if c == nil {
+			c = &StageCost{Name: s.name, Min: s.dur}
+			byName[s.name] = c
+		}
+		c.Count++
+		c.Total += s.dur
+		if s.dur < c.Min {
+			c.Min = s.dur
+		}
+		if s.dur > c.Max {
+			c.Max = s.dur
+		}
+	}
+	t.mu.Unlock()
+	out := make([]StageCost, 0, len(byName))
+	for _, c := range byName {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteStageSummary renders the per-stage cost table.
+func (t *Tracer) WriteStageSummary(w io.Writer) {
+	costs := t.StageCosts()
+	if len(costs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-28s %7s %12s %12s %12s\n", "stage", "count", "total", "mean", "max")
+	for _, c := range costs {
+		mean := c.Total / time.Duration(c.Count)
+		fmt.Fprintf(w, "%-28s %7d %12s %12s %12s\n",
+			c.Name, c.Count,
+			c.Total.Round(time.Microsecond),
+			mean.Round(time.Microsecond),
+			c.Max.Round(time.Microsecond))
+	}
+}
+
+// chromeEvent is one Chrome trace_event "complete" event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since trace start
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the spans as a Chrome trace_event JSON file
+// (loadable in chrome://tracing or Perfetto). Thread lanes are assigned
+// at export time: the root sits on tid 0, and each top-level subtree —
+// one memo build or evaluation cell, internally strictly nested because
+// a subtree runs on one goroutine — is packed greedily into the first
+// lane it does not overlap, so concurrent cells render side by side.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	root := t.tree()
+
+	// Greedy interval packing of the root's direct children.
+	children := append([]*treeNode(nil), root.children...)
+	sort.SliceStable(children, func(i, j int) bool {
+		return children[i].span.start.Before(children[j].span.start)
+	})
+	laneEnd := []time.Time{} // lane index -> latest end time
+	lanes := make(map[*treeNode]int, len(children))
+	for _, c := range children {
+		s, e := c.span.start, c.span.start.Add(c.span.dur)
+		lane := -1
+		for li, end := range laneEnd {
+			if !s.Before(end) {
+				lane = li
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, time.Time{})
+		}
+		laneEnd[lane] = e
+		lanes[c] = lane + 1 // tid 0 is the root
+	}
+
+	var events []chromeEvent
+	end := t.start
+	var emit func(n *treeNode, tid int)
+	emit = func(n *treeNode, tid int) {
+		s := n.span
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  "apex",
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(t.start).Nanoseconds()) / 1e3,
+			Dur:  float64(s.dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+		events = append(events, ev)
+		if se := s.start.Add(s.dur); se.After(end) {
+			end = se
+		}
+		for _, c := range n.children {
+			emit(c, tid)
+		}
+	}
+	for _, c := range children {
+		emit(c, lanes[c])
+	}
+	// The root event spans the whole run.
+	events = append([]chromeEvent{{
+		Name: root.span.name, Cat: "apex", Ph: "X",
+		Ts: 0, Dur: float64(end.Sub(t.start).Nanoseconds()) / 1e3,
+		Pid: 1, Tid: 0,
+	}}, events...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,6 +1,8 @@
 package rewrite
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -170,11 +172,11 @@ func TestMapAllAppsWithBaselineEquivalence(t *testing.T) {
 func TestEndToEndCameraSpecialization(t *testing.T) {
 	app := apps.Camera()
 	view, _ := mining.ComputeView(app.Graph)
-	pats := mining.Mine(view, mining.Options{MinSupport: 8, MaxNodes: 4})
+	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 4})
 	if len(pats) == 0 {
 		t.Fatal("no patterns mined from camera")
 	}
-	ranked := mis.Rank(pats)
+	ranked := mis.Rank(context.Background(), pats)
 
 	ops := append(app.UsedOps(), ir.OpLUT, ir.OpSel)
 	base := merge.BaselinePE(ops)
