@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench golden faultcheck panic-lint diag-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr perfcheck golden faultcheck panic-lint diag-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,19 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Refresh the PnR hot-path trajectory (BENCH_pnr.json): ns/op and
+# allocs/op for placement, routing, and the 4-seed portfolio, plus the
+# camera design's router iteration count.
+bench-pnr:
+	$(GO) test . -run TestWriteBenchPnR -bench-pnr=BENCH_pnr.json -count=1 -v
+
+# The PnR performance gates (DESIGN.md §10): the annealer inner loop
+# must stay at zero allocations per move and the router within its
+# per-net allocation budget, so the hot-path rewrites can't silently
+# rot back to map-based state.
+perfcheck:
+	$(GO) test ./internal/cgra -run 'TestAnnealAllocs|TestRouteAllocs' -count=1 -v
 
 # Regenerate the golden tables after an intentional change to the
 # evaluation numbers or table layout.

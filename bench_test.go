@@ -8,6 +8,9 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
+	"os"
 	"runtime"
 	"testing"
 
@@ -449,4 +452,118 @@ func BenchmarkAblationPipelineStages(b *testing.B) {
 	b.ReportMetric(float64(loose.Stages), "stages-gain30")
 	b.ReportMetric(float64(tight.Stages), "stages-gain05")
 	b.ReportMetric(tight.PeriodPS, "ps-period-gain05")
+}
+
+// cameraPnRDesign builds the balanced camera mapping the PnR hot-path
+// benchmarks place and route — the same design the Table 2 column is
+// produced from.
+func cameraPnRDesign(tb testing.TB) *rewrite.Mapped {
+	tb.Helper()
+	fw := core.New()
+	base, err := fw.BaselinePE(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := rewrite.MapApp(apps.Camera().Graph, base.Rules, "camera")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bal, _ := pipeline.BalanceApp(m, pipeline.AppOptions{PELatency: 1})
+	return bal
+}
+
+// BenchmarkPlaceCamera measures one full simulated-annealing placement
+// of the camera pipeline (greedy seed + 400k-move anneal).
+func BenchmarkPlaceCamera(b *testing.B) {
+	bal := cameraPnRDesign(b)
+	fab := cgra.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgra.Place(context.Background(), bal, fab, cgra.PlaceOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteCamera measures one full negotiated-congestion routing
+// of the placed camera pipeline.
+func BenchmarkRouteCamera(b *testing.B) {
+	bal := cameraPnRDesign(b)
+	fab := cgra.Default()
+	p, err := cgra.Place(context.Background(), bal, fab, cgra.PlaceOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgra.RouteAll(context.Background(), p, cgra.RouteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacePortfolio measures a 4-seed concurrent placement
+// portfolio (the retry-ladder and -seeds configuration).
+func BenchmarkPlacePortfolio(b *testing.B) {
+	bal := cameraPnRDesign(b)
+	fab := cgra.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgra.Place(context.Background(), bal, fab, cgra.PlaceOptions{Seed: 1, Seeds: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchPnROut = flag.String("bench-pnr", "", "write the PnR benchmark trajectory JSON (BENCH_pnr.json) to this path")
+
+// TestWriteBenchPnR runs the PnR hot-path benchmarks programmatically
+// and writes the trajectory file `make bench-pnr` tracks across PRs.
+// Skipped unless -bench-pnr is set.
+func TestWriteBenchPnR(t *testing.T) {
+	if *benchPnROut == "" {
+		t.Skip("enable with -bench-pnr=<path>")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	run := func(f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		return entry{r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()}
+	}
+	bal := cameraPnRDesign(t)
+	p, err := cgra.Place(context.Background(), bal, cgra.Default(), cgra.PlaceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := cgra.RouteAll(context.Background(), p, cgra.RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := struct {
+		PlaceCamera     entry `json:"place_camera"`
+		RouteCamera     entry `json:"route_camera"`
+		PlacePortfolio  entry `json:"place_portfolio"`
+		RouteIterations int   `json:"route_iterations"`
+		RouteNets       int   `json:"route_nets"`
+	}{
+		PlaceCamera:     run(BenchmarkPlaceCamera),
+		RouteCamera:     run(BenchmarkRouteCamera),
+		PlacePortfolio:  run(BenchmarkPlacePortfolio),
+		RouteIterations: routed.Iterations,
+		RouteNets:       len(routed.Routes),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchPnROut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchPnROut)
 }

@@ -59,6 +59,7 @@ func run(ctx context.Context) (int, error) {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. 'table2,fig13')")
 	jsonPath := flag.String("json", "", "also write all results as JSON to this file")
 	j := flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = serial; output is identical either way)")
+	seeds := flag.Int("seeds", 1, "placement seed portfolio width: anneal K seeds per placement, keep the lowest-wirelength result (1 = single seed; output is worker-count-invariant for any K)")
 	keepGoing := flag.Bool("keep-going", false, "report failed cells and continue instead of aborting")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "deadline for each evaluation cell (0 = none)")
@@ -85,6 +86,7 @@ func run(ctx context.Context) (int, error) {
 	h := eval.NewHarness()
 	h.FastMode = *fast
 	h.Workers = *j
+	h.FW.PlaceSeeds = *seeds
 	h.KeepGoing = *keepGoing
 	h.CellTimeout = *cellTimeout
 	h.SetObs(o)

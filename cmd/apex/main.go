@@ -376,6 +376,7 @@ func evaluate(ctx context.Context, args []string) (int, error) {
 	k := fs.Int("k", 3, "number of subgraphs to merge into the PE")
 	baseline := fs.Bool("baseline", false, "evaluate on the general-purpose baseline PE instead")
 	fast := fs.Bool("fast", false, "skip place-and-route")
+	seeds := fs.Int("seeds", 1, "placement seed portfolio width: anneal K seeds concurrently, keep the lowest-wirelength result (1 = single seed)")
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 	var of obs.Flags
 	of.Register(fs)
@@ -392,6 +393,7 @@ func evaluate(ctx context.Context, args []string) (int, error) {
 	defer cancel()
 
 	fw := core.New()
+	fw.PlaceSeeds = *seeds
 	opt := core.FullEval
 	if *fast {
 		opt = core.PostMapping

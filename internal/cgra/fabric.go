@@ -138,16 +138,39 @@ func (f *Fabric) IOSites() []Coord {
 	return cs
 }
 
+// edgeDirs is the neighbor order shared by Neighbors and the dense edge
+// index below — the PnR hot paths rely on the two agreeing.
+var edgeDirs = [4]Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
 // Neighbors returns the orthogonally adjacent valid coordinates.
 func (f *Fabric) Neighbors(c Coord) []Coord {
 	var ns []Coord
-	for _, d := range [4]Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+	for _, d := range edgeDirs {
 		n := Coord{c.X + d.X, c.Y + d.Y}
 		if f.ValidCoord(n) {
 			ns = append(ns, n)
 		}
 	}
 	return ns
+}
+
+// Dense site/edge indexing: the PnR hot paths address the padded
+// (W+2)x(H+2) grid — compute tiles plus the I/O ring, corners included
+// but never adjacent to anything — through flat indices so per-proposal
+// and per-net state lives in preallocated slices instead of maps. A site
+// owns four outgoing edges ordered like edgeDirs, so a directed edge is
+// siteIndex*4+dir.
+
+// numSites returns the padded site count, ring and corners included.
+func (f *Fabric) numSites() int { return (f.W + 2) * (f.H + 2) }
+
+// siteIndex maps a grid or ring coordinate to its dense index.
+func (f *Fabric) siteIndex(c Coord) int32 { return int32((c.Y+1)*(f.W+2) + c.X + 1) }
+
+// siteCoord inverts siteIndex.
+func (f *Fabric) siteCoord(i int32) Coord {
+	w := f.W + 2
+	return Coord{int(i)%w - 1, int(i)/w - 1}
 }
 
 // NumTiles returns the compute-grid tile count.

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -21,12 +24,27 @@ type Placement struct {
 	Fabric *Fabric
 	Mapped *rewrite.Mapped
 	Loc    []Coord // per mapped node
+
+	// netList caches the (producer, consumer) pairs; built once by the
+	// first nets() call (Place always triggers it before the placement
+	// is shared, so later concurrent readers see it populated).
+	netList [][2]int
 }
 
 // PlaceOptions tunes the simulated-annealing placer.
 type PlaceOptions struct {
 	Seed  int64
 	Moves int // annealing moves; 0 = default scaled by design size
+
+	// Seeds widens placement into a deterministic portfolio: seeds
+	// Seed..Seed+Seeds-1 anneal independently (concurrently, bounded by
+	// Parallel) and the lowest-wirelength result wins, ties broken
+	// toward the lowest seed — so the outcome never depends on how many
+	// workers ran or which finished first. 0 or 1 keeps the single-seed
+	// path bit-for-bit identical to a plain Place call.
+	Seeds int
+	// Parallel bounds concurrent portfolio anneals; 0 = GOMAXPROCS.
+	Parallel int
 }
 
 // Place produces a legal placement minimizing estimated wirelength via
@@ -34,10 +52,73 @@ type PlaceOptions struct {
 // fabric's tile budget fail with fault.ErrCapacity; cancellation of ctx
 // aborts the annealing loop with fault.ErrCanceled.
 func Place(ctx context.Context, m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
+	if opt.Seeds > 1 {
+		return placePortfolio(ctx, m, f, opt)
+	}
+	p, err := placeOne(ctx, m, f, opt.Seed, opt.Moves)
+	if err != nil {
+		return nil, err
+	}
+	obs.Observe(ctx, "place.wirelength", int64(p.wirelength()))
+	return p, nil
+}
+
+// placePortfolio anneals opt.Seeds placements from consecutive seeds and
+// keeps the best. Every candidate is deterministic in isolation, so the
+// min-wirelength/lowest-seed selection rule makes the portfolio as a
+// whole deterministic regardless of scheduling.
+func placePortfolio(ctx context.Context, m *rewrite.Mapped, f *Fabric, opt PlaceOptions) (*Placement, error) {
+	k := opt.Seeds
+	par := opt.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > k {
+		par = k
+	}
+	placements := make([]*Placement, k)
+	errs := make([]error, k)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			placements[i], errs[i] = placeOne(ctx, m, f, opt.Seed+int64(i), opt.Moves)
+		}(i)
+	}
+	wg.Wait()
 	if err := fault.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	best, bestWL := -1, 0
+	for i, p := range placements {
+		if errs[i] != nil {
+			continue
+		}
+		if wl := p.wirelength(); best < 0 || wl < bestWL {
+			best, bestWL = i, wl
+		}
+	}
+	if best < 0 {
+		// Placement failures (capacity) are seed-independent, so the
+		// first seed's error speaks for the whole portfolio.
+		return nil, errs[0]
+	}
+	obs.Add(ctx, "place.portfolio.anneals", int64(k))
+	obs.Observe(ctx, "place.portfolio.pick", int64(best))
+	obs.Observe(ctx, "place.wirelength", int64(bestWL))
+	return placements[best], nil
+}
+
+// placeOne is the single-seed place flow: greedy seed, then anneal.
+func placeOne(ctx context.Context, m *rewrite.Mapped, f *Fabric, seed int64, moves int) (*Placement, error) {
+	if err := fault.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
 	p := &Placement{Fabric: f, Mapped: m, Loc: make([]Coord, len(m.Nodes))}
 
 	// Partition nodes by resource class.
@@ -118,7 +199,7 @@ func Place(ctx context.Context, m *rewrite.Mapped, f *Fabric, opt PlaceOptions) 
 		}
 	}
 
-	if err := p.anneal(ctx, rng, opt.Moves, peNodes, rfNodes, memNodes, ioNodes, regNodes); err != nil {
+	if err := p.anneal(ctx, rng, moves, [5][]int{peNodes, rfNodes, memNodes, ioNodes, regNodes}); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
@@ -127,15 +208,19 @@ func Place(ctx context.Context, m *rewrite.Mapped, f *Fabric, opt PlaceOptions) 
 	return p, nil
 }
 
-// nets enumerates (producer, consumer) pairs.
+// nets enumerates (producer, consumer) pairs, cached on the Placement
+// after the first call.
 func (p *Placement) nets() [][2]int {
-	var ns [][2]int
-	for i := range p.Mapped.Nodes {
-		for _, pr := range p.Mapped.Nodes[i].Producers() {
-			ns = append(ns, [2]int{pr, i})
+	if p.netList == nil {
+		ns := make([][2]int, 0, len(p.Mapped.Nodes))
+		for i := range p.Mapped.Nodes {
+			for _, pr := range p.Mapped.Nodes[i].Producers() {
+				ns = append(ns, [2]int{pr, i})
+			}
 		}
+		p.netList = ns
 	}
-	return ns
+	return p.netList
 }
 
 func (p *Placement) wirelength() int {
@@ -146,43 +231,37 @@ func (p *Placement) wirelength() int {
 	return total
 }
 
-// anneal refines the placement with class-preserving swap/move proposals.
-// It polls ctx periodically (every 4096 moves) so a long anneal cannot
-// outlive a cancelled evaluation; the deterministic proposal sequence is
-// unaffected when ctx stays live.
-func (p *Placement) anneal(ctx context.Context, rng *rand.Rand, moves int, peNodes, rfNodes, memNodes, ioNodes, regNodes []int) error {
-	if moves <= 0 {
-		moves = 200 * len(p.Mapped.Nodes)
-		if moves > 400_000 {
-			moves = 400_000
-		}
-	}
-	// Incremental cost: net list per node.
-	netsOf := make([][]int, len(p.Mapped.Nodes))
-	allNets := p.nets()
-	for ni, n := range allNets {
-		netsOf[n[0]] = append(netsOf[n[0]], ni)
-		netsOf[n[1]] = append(netsOf[n[1]], ni)
-	}
-	netLen := func(ni int) int {
-		return manhattan(p.Loc[allNets[ni][0]], p.Loc[allNets[ni][1]])
-	}
-	costAround := func(nodes ...int) int {
-		seen := map[int]bool{}
-		c := 0
-		for _, nd := range nodes {
-			for _, ni := range netsOf[nd] {
-				if !seen[ni] {
-					seen[ni] = true
-					c += netLen(ni)
-				}
-			}
-		}
-		return c
-	}
+// annealState is the flattened, preallocated working set of one
+// annealing run: the per-node net lists in CSR form, class and free-slot
+// tables, and an epoch-stamped scratch slice that replaces the
+// per-proposal map — a stamp mismatch means "not seen this proposal", so
+// "clearing" the set between proposals is a single counter increment and
+// a proposal allocates nothing.
+type annealState struct {
+	p          *Placement
+	netU, netV []int32 // per net id, endpoint nodes
+	netOff     []int32 // CSR offsets: node i's net ids are netIDs[netOff[i]:netOff[i+1]]
+	netIDs     []int32
+	classes    [5][]int
+	classOf    []int8
+	movable    []int
+	free       [][]Coord
 
-	// Occupancy maps per resource class for swap proposals.
-	classes := [][]int{peNodes, rfNodes, memNodes, ioNodes, regNodes}
+	// locX/locY mirror p.Loc as flat int32 planes: the delta loops are
+	// pure loads over them, and accepted proposals write both mirrors
+	// and p.Loc.
+	locX, locY []int32
+
+	seen  []int32 // per net id, epoch stamp
+	epoch int32
+
+	t, cool float64
+}
+
+// newAnnealState builds the flat tables once per Place call. Returns nil
+// when there is nothing to anneal (fewer than two movable nodes), before
+// any RNG is consumed — matching the historical early return.
+func newAnnealState(p *Placement, classes [5][]int, moves int) *annealState {
 	var movable []int
 	for _, cl := range classes {
 		movable = append(movable, cl...)
@@ -190,60 +269,222 @@ func (p *Placement) anneal(ctx context.Context, rng *rand.Rand, moves int, peNod
 	if len(movable) < 2 {
 		return nil
 	}
-	classOf := map[int]int{}
-	for ci, cl := range classes {
-		for _, nd := range cl {
-			classOf[nd] = ci
+	nets := p.nets()
+	n := len(p.Mapped.Nodes)
+	// CSR over (node -> incident net ids); a self-loop net is listed
+	// once, exactly as the old per-node append built it.
+	netOff := make([]int32, n+1)
+	for _, nt := range nets {
+		netOff[nt[0]+1]++
+		if nt[1] != nt[0] {
+			netOff[nt[1]+1]++
 		}
 	}
-	// Free slots per class for move proposals.
-	freeSlots := p.freeSlotsByClass()
-
+	for i := 0; i < n; i++ {
+		netOff[i+1] += netOff[i]
+	}
+	netIDs := make([]int32, netOff[n])
+	fill := make([]int32, n)
+	for ni, nt := range nets {
+		u, v := nt[0], nt[1]
+		netIDs[netOff[u]+fill[u]] = int32(ni)
+		fill[u]++
+		if v != u {
+			netIDs[netOff[v]+fill[v]] = int32(ni)
+			fill[v]++
+		}
+	}
+	classOf := make([]int8, n)
+	for ci, cl := range classes {
+		for _, nd := range cl {
+			classOf[nd] = int8(ci)
+		}
+	}
+	netU := make([]int32, len(nets))
+	netV := make([]int32, len(nets))
+	for ni, nt := range nets {
+		netU[ni], netV[ni] = int32(nt[0]), int32(nt[1])
+	}
+	locX := make([]int32, n)
+	locY := make([]int32, n)
+	for i, c := range p.Loc {
+		locX[i], locY[i] = int32(c.X), int32(c.Y)
+	}
 	t := float64(p.Fabric.W + p.Fabric.H)
-	cool := math.Pow(0.01/t, 1/float64(moves))
+	return &annealState{
+		p:       p,
+		netU:    netU,
+		netV:    netV,
+		netOff:  netOff,
+		netIDs:  netIDs,
+		classes: classes,
+		classOf: classOf,
+		movable: movable,
+		free:    p.freeSlotsByClass(),
+		locX:    locX,
+		locY:    locY,
+		seen:    make([]int32, len(nets)),
+		t:       t,
+		cool:    math.Pow(0.01/t, 1/float64(moves)),
+	}
+}
+
+// manhattan32 is manhattan on the flat coordinate planes.
+func manhattan32(ax, ay, bx, by int32) int32 {
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// anneal refines the placement with class-preserving swap/move proposals.
+// It polls ctx periodically (every 4096 moves) so a long anneal cannot
+// outlive a cancelled evaluation; the deterministic proposal sequence is
+// unaffected when ctx stays live.
+func (p *Placement) anneal(ctx context.Context, rng *rand.Rand, moves int, classes [5][]int) error {
+	if moves <= 0 {
+		moves = 200 * len(p.Mapped.Nodes)
+		if moves > 400_000 {
+			moves = 400_000
+		}
+	}
+	s := newAnnealState(p, classes, moves)
+	if s == nil {
+		return nil
+	}
 	for step := 0; step < moves; step++ {
 		if step&4095 == 0 {
 			if err := fault.Canceled(ctx); err != nil {
 				return err
 			}
 		}
-		a := movable[rng.Intn(len(movable))]
-		ca := classOf[a]
-		// Either swap with a same-class node or move to a free slot.
-		if len(freeSlots[ca]) > 0 && rng.Intn(2) == 0 {
-			si := rng.Intn(len(freeSlots[ca]))
-			target := freeSlots[ca][si]
-			before := costAround(a)
-			old := p.Loc[a]
-			p.Loc[a] = target
-			after := costAround(a)
-			if accepted(before, after, t, rng) {
-				freeSlots[ca][si] = old
-			} else {
-				p.Loc[a] = old
-			}
-		} else {
-			b := sameClassPeer(rng, classes[ca], a)
-			if b < 0 {
-				continue
-			}
-			before := costAround(a, b)
-			p.Loc[a], p.Loc[b] = p.Loc[b], p.Loc[a]
-			after := costAround(a, b)
-			if !accepted(before, after, t, rng) {
-				p.Loc[a], p.Loc[b] = p.Loc[b], p.Loc[a]
-			}
-		}
-		t *= cool
+		s.step(rng)
 	}
 	return nil
 }
 
-func accepted(before, after int, t float64, rng *rand.Rand) bool {
-	if after <= before {
+// step proposes and (maybe) applies one move or swap. The RNG draw
+// sequence, acceptance math, and free-slot bookkeeping reproduce the
+// pre-flattening annealer exactly, so placements are byte-identical per
+// seed; the cost of a proposal is computed as an incremental delta over
+// the touched nets without mutating the placement until acceptance.
+func (s *annealState) step(rng *rand.Rand) {
+	p := s.p
+	a := s.movable[rng.Intn(len(s.movable))]
+	ca := s.classOf[a]
+	// Either swap with a same-class node or move to a free slot.
+	if len(s.free[ca]) > 0 && rng.Intn(2) == 0 {
+		si := rng.Intn(len(s.free[ca]))
+		target := s.free[ca][si]
+		if s.acceptDelta(s.moveDelta(a, int32(target.X), int32(target.Y)), rng) {
+			old := p.Loc[a]
+			p.Loc[a] = target
+			s.locX[a], s.locY[a] = int32(target.X), int32(target.Y)
+			s.free[ca][si] = old
+		}
+	} else {
+		b := sameClassPeer(rng, s.classes[ca], a)
+		if b < 0 {
+			return // no cooling on a failed pairing, matching the old control flow
+		}
+		if s.acceptDelta(s.swapDelta(a, b), rng) {
+			p.Loc[a], p.Loc[b] = p.Loc[b], p.Loc[a]
+			s.locX[a], s.locX[b] = s.locX[b], s.locX[a]
+			s.locY[a], s.locY[b] = s.locY[b], s.locY[a]
+		}
+	}
+	s.t *= s.cool
+}
+
+// moveDelta is the wirelength change from relocating node a to (tx,ty).
+// a's incident net ids are distinct, so no dedup pass is needed.
+func (s *annealState) moveDelta(a int, tx, ty int32) int {
+	a32 := int32(a)
+	delta := int32(0)
+	for _, ni := range s.netIDs[s.netOff[a]:s.netOff[a+1]] {
+		u, v := s.netU[ni], s.netV[ni]
+		ux, uy := s.locX[u], s.locY[u]
+		vx, vy := s.locX[v], s.locY[v]
+		old := manhattan32(ux, uy, vx, vy)
+		if u == a32 {
+			ux, uy = tx, ty
+		}
+		if v == a32 {
+			vx, vy = tx, ty
+		}
+		delta += manhattan32(ux, uy, vx, vy) - old
+	}
+	return int(delta)
+}
+
+// swapDelta is the wirelength change from exchanging the locations of a
+// and b. Nets incident to both are epoch-deduped so they count once,
+// like the old map-based costAround(a, b).
+func (s *annealState) swapDelta(a, b int) int {
+	a32, b32 := int32(a), int32(b)
+	ax, ay := s.locX[a], s.locY[a]
+	bx, by := s.locX[b], s.locY[b]
+	s.epoch++
+	ep := s.epoch
+	delta := int32(0)
+	for pass := 0; pass < 2; pass++ {
+		nd := a
+		if pass == 1 {
+			nd = b
+		}
+		for _, ni := range s.netIDs[s.netOff[nd]:s.netOff[nd+1]] {
+			if s.seen[ni] == ep {
+				continue
+			}
+			s.seen[ni] = ep
+			u, v := s.netU[ni], s.netV[ni]
+			ux, uy := s.locX[u], s.locY[u]
+			vx, vy := s.locX[v], s.locY[v]
+			old := manhattan32(ux, uy, vx, vy)
+			if u == a32 {
+				ux, uy = bx, by
+			} else if u == b32 {
+				ux, uy = ax, ay
+			}
+			if v == a32 {
+				vx, vy = bx, by
+			} else if v == b32 {
+				vx, vy = ax, ay
+			}
+			delta += manhattan32(ux, uy, vx, vy) - old
+		}
+	}
+	return int(delta)
+}
+
+// acceptDelta is the Metropolis criterion on an incremental cost delta.
+// For integer deltas float64(before-after) == -float64(delta) exactly,
+// and the Float64 draw happens iff delta > 0 — both identical to the old
+// accepted(before, after) on full costs.
+//
+// The transcendental is bracketed before it is computed: for x <= 0,
+// 1+x <= exp(x) <= 1/(1-x) with slack of order x^2/2. Here |x| >=
+// 1/(W+H) (delta is a positive integer, t starts at W+H and only
+// shrinks), so the slack dwarfs float rounding by >10 orders of
+// magnitude and the cheap bounds decide u < exp(x) exactly; math.Exp
+// runs only for draws inside the thin undecided band.
+func (s *annealState) acceptDelta(delta int, rng *rand.Rand) bool {
+	if delta <= 0 {
 		return true
 	}
-	return rng.Float64() < math.Exp(float64(before-after)/t)
+	u := rng.Float64()
+	x := -float64(delta) / s.t
+	if u <= 1+x {
+		return true
+	}
+	if u*(1-x) >= 1 {
+		return false
+	}
+	return u < math.Exp(x)
 }
 
 func sameClassPeer(rng *rand.Rand, class []int, a int) int {

@@ -50,6 +50,12 @@ type Framework struct {
 	PlaceSeed int64
 	// PlaceMoves bounds annealing effort (0 = auto).
 	PlaceMoves int
+	// PlaceSeeds widens every placement into a deterministic multi-seed
+	// portfolio (cgra.PlaceOptions.Seeds): K anneals from consecutive
+	// seeds, lowest wirelength wins, ties to the lowest seed. 0 or 1
+	// keeps the single-seed flow byte-identical. Independent of this
+	// setting, the PnR retry ladder widens its own retry rungs.
+	PlaceSeeds int
 }
 
 // New returns a framework with the paper's defaults: calibrated tech

@@ -116,17 +116,21 @@ type Result struct {
 }
 
 // pnrLadder is the retry-with-fallback schedule for place-and-route: on
-// routing non-convergence the placement is reseeded (a different anneal
-// trajectory frees different tracks) and the router's iteration budget is
-// escalated. Exhausting the ladder degrades to the analytical estimate
-// rather than failing the evaluation.
+// routing non-convergence the retry rungs run a widening placement
+// portfolio (several anneal trajectories compete and the lowest-
+// wirelength one is routed — strictly better odds than one blind reseed)
+// and the router's iteration budget is escalated. Seed offsets are
+// spaced so no two rungs anneal the same seed. Exhausting the ladder
+// degrades to the analytical estimate rather than failing the
+// evaluation.
 var pnrLadder = []struct {
 	SeedOffset int64
+	Seeds      int // portfolio width; 1 = plain single-seed placement
 	RouteIters int // 0 = router default (24)
 }{
-	{0, 0},
-	{1, 48},
-	{2, 96},
+	{0, 1, 0},
+	{1, 2, 48},
+	{3, 3, 96},
 }
 
 // Evaluate runs the full backend for one (application, PE variant) pair:
@@ -232,11 +236,16 @@ func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVaria
 			return fmt.Errorf("core: place %s on %s: %w", app.Name, v.Name, err)
 		}
 		seed := f.PlaceSeed + rung.SeedOffset
+		seeds := rung.Seeds
+		if f.PlaceSeeds > seeds {
+			seeds = f.PlaceSeeds
+		}
 		pctx, placeSpan := obs.StartSpan(ctx, "place",
-			obs.Int("attempt", attempt+1), obs.Int64("seed", seed))
+			obs.Int("attempt", attempt+1), obs.Int64("seed", seed), obs.Int("seeds", seeds))
 		placed, err := cgra.Place(pctx, balanced, f.Fabric, cgra.PlaceOptions{
 			Seed:  seed,
 			Moves: f.PlaceMoves,
+			Seeds: seeds,
 		})
 		placeSpan.End()
 		if err != nil {

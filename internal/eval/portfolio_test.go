@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"context"
+	"testing"
+)
+
+// portfolioHarness is a full-PnR harness with a 4-seed placement
+// portfolio, as `apex-eval -seeds 4 -j N` would build it.
+func portfolioHarness(workers int) *Harness {
+	h := NewHarness()
+	h.FW.PlaceSeeds = 4
+	h.Workers = workers
+	return h
+}
+
+// TestPortfolioWorkerInvariance: with a multi-seed placement portfolio
+// live, the full-PnR camera ladder must render byte-identically at
+// Workers=1 and Workers=8 — portfolio selection (lowest wirelength, ties
+// to the lowest seed) cannot depend on scheduling, so neither can any
+// routed table derived from it.
+func TestPortfolioWorkerInvariance(t *testing.T) {
+	serial := portfolioHarness(1)
+	st, sr, err := serial.CameraLadder(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := portfolioHarness(8)
+	pt, pr, err := par.CameraLadder(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := st.Markdown(), pt.Markdown(); s != p {
+		t.Errorf("camera ladder differs between workers=1 and workers=8 with Seeds=4:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	if len(sr) != len(pr) {
+		t.Fatalf("rung count differs: %d vs %d", len(sr), len(pr))
+	}
+	for i := range sr {
+		if sr[i] != pr[i] {
+			t.Errorf("ladder rung %d differs: %+v vs %+v", i, sr[i], pr[i])
+		}
+	}
+}
+
+// TestPortfolioChangesNothingWhenOff: Seeds=1 harness output equals the
+// default harness output on a routed table — the portfolio is strictly
+// opt-in.
+func TestPortfolioChangesNothingWhenOff(t *testing.T) {
+	def := NewHarness()
+	dt, _, err := def.CameraLadder(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := NewHarness()
+	one.FW.PlaceSeeds = 1
+	ot, _, err := one.CameraLadder(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, o := dt.Markdown(), ot.Markdown(); d != o {
+		t.Errorf("PlaceSeeds=1 changed the camera ladder:\ndefault:\n%s\nseeds=1:\n%s", d, o)
+	}
+}
