@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-pnr perfcheck golden faultcheck panic-lint diag-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr bench-mine perfcheck minecheck fuzz golden faultcheck panic-lint diag-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,26 @@ bench:
 # camera design's router iteration count.
 bench-pnr:
 	$(GO) test . -run TestWriteBenchPnR -bench-pnr=BENCH_pnr.json -count=1 -v
+
+# Refresh the miner trajectory (BENCH_mine.json): ns/op and allocs/op
+# for the SoA miner (1 and 8 workers), the nine-app suite, and the
+# frozen pre-SoA reference miner, plus the speedup ratio the ≥4x
+# mining-rewrite gate checks.
+bench-mine:
+	$(GO) test . -run TestWriteBenchMine -bench-mine=BENCH_mine.json -count=1 -v
+
+# The miner equivalence and performance gates (DESIGN.md §11): the
+# parallel SoA miner must stay byte-identical to the frozen serial
+# reference on the full app suite at 1 and 8 workers, and its two
+# zero-allocation hot paths (extension scan, MNI count) must not rot.
+minecheck:
+	$(GO) test ./internal/mining/ -run 'TestMineMatchesReference|TestMineWorkersDeterministic|TestMineAllocGates|TestMNIBruteForce|TestMaxEmbeddingsCap' -count=1
+	$(GO) test ./internal/graph/ -run 'TestCanonicalCodeMatchesLegacy|TestMatcherMatchesFindEmbeddings' -count=1
+
+# Short fuzz pass over every fuzz target (currently canonical-code
+# permutation invariance and collision soundness); CI-sized budget.
+fuzz:
+	$(GO) test ./internal/graph/ -run xxx -fuzz FuzzCanonicalCode -fuzztime 30s
 
 # The PnR performance gates (DESIGN.md §10): the annealer inner loop
 # must stay at zero allocations per move and the router within its
@@ -80,5 +100,5 @@ obscheck:
 	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1
 	$(GO) test . -run TestObsDisabledOverheadUnderTwoPercent -count=1
 
-check: vet fmt-check panic-lint diag-lint build race
+check: vet fmt-check panic-lint diag-lint build race minecheck
 	@echo "all checks passed"

@@ -46,7 +46,10 @@ func BenchmarkTable1Apps(b *testing.B) {
 func BenchmarkFig3Mining(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, pats := eval.Fig3(context.Background())
+		_, pats, err := eval.Fig3(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pats) == 0 {
 			b.Fatal("no patterns")
 		}
@@ -251,7 +254,10 @@ func BenchmarkMemoContention(b *testing.B) {
 func BenchmarkAblationMISvsFrequency(b *testing.B) {
 	fw := core.New()
 	app := apps.Camera()
-	an := fw.Analyze(context.Background(), app)
+	an, err := fw.Analyze(context.Background(), app)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var misPEs, freqPEs int
 	for i := 0; i < b.N; i++ {
 		// MIS-guided (with absorbability-aware selection).
@@ -266,7 +272,10 @@ func BenchmarkAblationMISvsFrequency(b *testing.B) {
 		misPEs = rMIS.NumPEs
 		// Frequency-ranked.
 		view, _ := mining.ComputeView(app.Graph)
-		pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 4, MaxNodes: fw.MaxPatternNodes})
+		pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 4, MaxNodes: fw.MaxPatternNodes})
+		if err != nil {
+			b.Fatal(err)
+		}
 		byFreq := mis.RankByFrequency(context.Background(), pats)
 		// Take the most frequent single-rooted pattern (rules are
 		// single-output; a multi-rooted pattern cannot become a rule).
@@ -351,7 +360,10 @@ func BenchmarkAblationFIFOCutoff(b *testing.B) {
 // patterns.
 func BenchmarkAblationExactVsGreedyMIS(b *testing.B) {
 	view, _ := mining.ComputeView(apps.Camera().Graph)
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 3})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if len(pats) == 0 {
 		b.Fatal("no patterns")
 	}
@@ -566,4 +578,92 @@ func TestWriteBenchPnR(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", *benchPnROut)
+}
+
+var benchMineOut = flag.String("bench-mine", "", "write the miner benchmark trajectory JSON (BENCH_mine.json) to this path")
+
+// TestWriteBenchMine runs the frequent-subgraph miner benchmarks
+// programmatically and writes the trajectory file `make bench-mine`
+// tracks across PRs: the SoA miner on the camera workload at default and
+// 8 workers, the nine-app suite, and the frozen pre-SoA reference miner
+// on the same camera workload as the speedup denominator. The recorded
+// speedup (reference ns / miner ns) is the ≥4x gate for the parallel
+// struct-of-arrays mining rewrite. Skipped unless -bench-mine is set.
+func TestWriteBenchMine(t *testing.T) {
+	if *benchMineOut == "" {
+		t.Skip("enable with -bench-mine=<path>")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	view, _ := mining.ComputeView(apps.Camera().Graph)
+	cameraOpt := mining.Options{MinSupport: 8, MaxNodes: 4}
+	run := func(f func(b *testing.B)) entry {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		return entry{r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()}
+	}
+	mineCamera := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			opt := cameraOpt
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := mining.Mine(context.Background(), view, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	out := struct {
+		MineCamera         entry   `json:"mine_camera"`
+		MineCameraWorkers8 entry   `json:"mine_camera_workers8"`
+		MineCameraRef      entry   `json:"mine_camera_reference"`
+		MineSuite          entry   `json:"mine_suite"`
+		SpeedupVsReference float64 `json:"speedup_vs_reference"`
+	}{
+		MineCamera:         run(mineCamera(1)),
+		MineCameraWorkers8: run(mineCamera(8)),
+		MineCameraRef: run(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mining.MineReference(context.Background(), view, cameraOpt)
+			}
+		}),
+		MineSuite: run(func(b *testing.B) {
+			all := apps.All()
+			views := make([]*graph.Graph, len(all))
+			opts := make([]mining.Options, len(all))
+			for j, app := range all {
+				views[j], _ = mining.ComputeView(app.Graph)
+				minSupport := app.ComputeOps() / 40
+				if minSupport < 4 {
+					minSupport = 4
+				}
+				opts[j] = mining.Options{MinSupport: minSupport, MaxNodes: 4}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range views {
+					if _, err := mining.Mine(context.Background(), views[j], opts[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+	}
+	out.SpeedupVsReference = float64(out.MineCameraRef.NsPerOp) / float64(out.MineCamera.NsPerOp)
+	if out.SpeedupVsReference < 4 {
+		t.Errorf("miner speedup vs frozen reference = %.2fx, want >= 4x", out.SpeedupVsReference)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchMineOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (speedup %.2fx)", *benchMineOut, out.SpeedupVsReference)
 }

@@ -86,6 +86,7 @@ func run(ctx context.Context) (int, error) {
 	h := eval.NewHarness()
 	h.FastMode = *fast
 	h.Workers = *j
+	h.FW.MineWorkers = *j
 	h.FW.PlaceSeeds = *seeds
 	h.KeepGoing = *keepGoing
 	h.CellTimeout = *cellTimeout
@@ -127,8 +128,8 @@ func run(ctx context.Context) (int, error) {
 		emit(eval.Table1(), nil)
 	}
 	if sel("fig3") {
-		t, _ := eval.Fig3(ctx)
-		emit(t, nil)
+		t, _, err := eval.Fig3(ctx)
+		emit(t, err)
 	}
 	if sel("fig4") {
 		t, _ := eval.Fig4(ctx)

@@ -55,8 +55,11 @@ func run() error {
 		var a *apps.App
 		a, err = apps.ByName(*appName)
 		if err == nil {
-			an := fw.Analyze(ctx, a)
-			v, err = fw.GeneratePE(ctx, a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
+			var an *core.Analysis
+			an, err = fw.Analyze(ctx, a)
+			if err == nil {
+				v, err = fw.GeneratePE(ctx, a.Name+"_pe", a.UsedOps(), core.SelectPatterns(an, *k))
+			}
 		}
 	default:
 		return errors.New("need -app <name> or -baseline")

@@ -139,7 +139,10 @@ func simulate(ctx context.Context, args []string) (int, error) {
 	defer cancel()
 
 	fw := core.New()
-	an := fw.Analyze(ctx, app)
+	an, err := fw.Analyze(ctx, app)
+	if err != nil {
+		return 1, err
+	}
 	v, err := fw.GeneratePE(ctx, app.Name+"_pe", app.UsedOps(), core.SelectPatterns(an, *k))
 	if err != nil {
 		return 1, err
@@ -258,7 +261,10 @@ func compileKernel(ctx context.Context, args []string) error {
 
 	app := &apps.App{Name: "kernel", Graph: g, Unroll: 1, TotalOutputs: 1 << 20}
 	fw := core.New()
-	an := fw.Analyze(ctx, app)
+	an, err := fw.Analyze(ctx, app)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("mined %d frequent subgraphs\n", len(an.Ranked))
 	var v *core.PEVariant
 	if *k > 0 && len(an.Ranked) > 0 {
@@ -302,6 +308,7 @@ func analyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	top := fs.Int("top", 10, "number of patterns to print")
 	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
+	j := fs.Int("j", 1, "mining worker goroutines (output is identical at any count)")
 	var of obs.Flags
 	of.Register(fs)
 	app, err := appArg(fs, args)
@@ -319,7 +326,11 @@ func analyze(ctx context.Context, args []string) error {
 		return nil
 	}
 	fw := core.New()
-	an := fw.Analyze(ctx, app)
+	fw.MineWorkers = *j
+	an, err := fw.Analyze(ctx, app)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s: %d frequent subgraphs (compute view: %d nodes)\n",
 		app.Name, len(an.Ranked), an.View.NumNodes())
 	for i, r := range an.Ranked {
@@ -349,7 +360,10 @@ func generate(ctx context.Context, args []string) error {
 
 	fw := core.New()
 	m := tech.Default()
-	an := fw.Analyze(ctx, app)
+	an, err := fw.Analyze(ctx, app)
+	if err != nil {
+		return err
+	}
 	chosen := core.SelectPatterns(an, *k)
 	v, err := fw.GeneratePE(ctx, fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), chosen)
 	if err != nil {
@@ -402,7 +416,11 @@ func evaluate(ctx context.Context, args []string) (int, error) {
 	if *baseline {
 		v, err = fw.BaselinePE(ctx)
 	} else {
-		an := fw.Analyze(ctx, app)
+		var an *core.Analysis
+		an, err = fw.Analyze(ctx, app)
+		if err != nil {
+			return 1, err
+		}
 		v, err = fw.GeneratePE(ctx, fmt.Sprintf("%s_pe", app.Name), app.UsedOps(), core.SelectPatterns(an, *k))
 	}
 	if err != nil {

@@ -28,7 +28,10 @@ func main() {
 
 	fmt.Printf("analyzing %s (%d compute ops, unrolled %dx)...\n",
 		app.Name, app.ComputeOps(), app.Unroll)
-	an := fw.Analyze(ctx, app)
+	an, err := fw.Analyze(ctx, app)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  %d frequent subgraphs; top by MIS: %s (MIS=%d)\n",
 		len(an.Ranked), an.Ranked[0].Pattern.Code, an.Ranked[0].MISSize)
 

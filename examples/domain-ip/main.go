@@ -30,7 +30,10 @@ func main() {
 	// Mine each analyzed image application and take its best subgraph.
 	var named []rewrite.NamedPattern
 	for _, a := range apps.AnalyzedIP() {
-		an := fw.Analyze(ctx, a)
+		an, err := fw.Analyze(ctx, a)
+		if err != nil {
+			log.Fatal(err)
+		}
 		chosen := core.SelectPatterns(an, 1)
 		if len(chosen) == 0 {
 			continue

@@ -32,7 +32,10 @@ func main() {
 	// CGRA-ML: union of the ML layers' ops + two subgraphs from each.
 	var named []rewrite.NamedPattern
 	for _, a := range apps.AnalyzedML() {
-		an := fw.Analyze(ctx, a)
+		an, err := fw.Analyze(ctx, a)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i, r := range core.SelectPatterns(an, 2) {
 			np, err := rewrite.PatternFromMined(r.Pattern.Graph, fmt.Sprintf("ml_%s%d", a.Name, i))
 			if err != nil {

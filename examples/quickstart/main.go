@@ -47,7 +47,10 @@ func main() {
 	// --- 2. Frequent subgraph mining (paper Section 3.1).
 	ctx := context.Background()
 	view, _ := mining.ComputeView(app)
-	patterns := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 4})
+	patterns, err := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("mined %d frequent subgraphs\n", len(patterns))
 
 	// --- 3. Maximal independent set ranking (Section 3.2).

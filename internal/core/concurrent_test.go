@@ -21,7 +21,7 @@ func TestEvaluateConcurrentMixedOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := fw.GeneratePE(context.Background(), "spec", app.UsedOps(), SelectPatterns(fw.Analyze(context.Background(), app), 2))
+	spec, err := fw.GeneratePE(context.Background(), "spec", app.UsedOps(), SelectPatterns(mustAnalyze(t, fw, app), 2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,11 @@ type Framework struct {
 	// keeps the single-seed flow byte-identical. Independent of this
 	// setting, the PnR retry ladder widens its own retry rungs.
 	PlaceSeeds int
+	// MineWorkers parallelizes frequent-subgraph mining inside Analyze
+	// (mining.Options.Workers). 0 or 1 mines serially; any value yields
+	// byte-identical analyses — mining is deterministic at every worker
+	// count.
+	MineWorkers int
 }
 
 // New returns a framework with the paper's defaults: calibrated tech
@@ -78,7 +83,8 @@ type Analysis struct {
 
 // Analyze mines an application's compute view and ranks the frequent
 // subgraphs by maximal independent set size (paper Section 3.1-3.2).
-func (f *Framework) Analyze(ctx context.Context, app *apps.App) *Analysis {
+// The only possible error is cancellation of ctx mid-mine.
+func (f *Framework) Analyze(ctx context.Context, app *apps.App) (*Analysis, error) {
 	ctx, span := obs.StartSpan(ctx, "analyze", obs.String("app", app.Name))
 	defer span.End()
 
@@ -91,10 +97,15 @@ func (f *Framework) Analyze(ctx context.Context, app *apps.App) *Analysis {
 		minSupport = 4
 	}
 	mctx, mspan := obs.StartSpan(ctx, "mine", obs.Int("min_support", minSupport))
-	pats := mining.Mine(mctx, view, mining.Options{
+	pats, err := mining.Mine(mctx, view, mining.Options{
 		MinSupport: minSupport,
 		MaxNodes:   f.MaxPatternNodes,
+		Workers:    f.MineWorkers,
 	})
+	if err != nil {
+		mspan.End()
+		return nil, err
+	}
 	mspan.SetAttrs(obs.Int("patterns", len(pats)))
 	mspan.End()
 
@@ -103,7 +114,7 @@ func (f *Framework) Analyze(ctx context.Context, app *apps.App) *Analysis {
 	rspan.End()
 	obs.Logger(ctx).Info("analyzed application",
 		"app", app.Name, "min_support", minSupport, "patterns", len(pats))
-	return &Analysis{View: view, Ranked: ranked}
+	return &Analysis{View: view, Ranked: ranked}, nil
 }
 
 // PEVariant is one generated PE design together with its compiler.

@@ -8,9 +8,20 @@ import (
 	"repro/internal/apps"
 )
 
+// mustAnalyze is the test-side unwrap of Analyze's cancellation-only
+// error (the contexts here are never canceled).
+func mustAnalyze(t *testing.T, fw *Framework, app *apps.App) *Analysis {
+	t.Helper()
+	an, err := fw.Analyze(context.Background(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
 func TestAnalyzeCameraFindsPatterns(t *testing.T) {
 	fw := New()
-	ranked := fw.Analyze(context.Background(), apps.Camera()).Ranked
+	ranked := mustAnalyze(t, fw, apps.Camera()).Ranked
 	if len(ranked) == 0 {
 		t.Fatal("no patterns")
 	}
@@ -42,7 +53,7 @@ func TestBaselineVariant(t *testing.T) {
 func TestGeneratePELadderShrinksPEs(t *testing.T) {
 	fw := New()
 	app := apps.Camera()
-	ranked := fw.Analyze(context.Background(), app).Ranked
+	ranked := mustAnalyze(t, fw, app).Ranked
 
 	pe1, err := fw.RestrictedBaseline(context.Background(), "pe1", app.UsedOps())
 	if err != nil {
@@ -172,7 +183,7 @@ func TestUnionOps(t *testing.T) {
 
 func TestTopPatterns(t *testing.T) {
 	fw := New()
-	ranked := fw.Analyze(context.Background(), apps.Gaussian()).Ranked
+	ranked := mustAnalyze(t, fw, apps.Gaussian()).Ranked
 	pats, err := TopPatterns("gauss", ranked, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -14,7 +14,10 @@ func Example() {
 	fw := core.New()
 
 	app := apps.Camera()
-	analysis := fw.Analyze(context.Background(), app)
+	analysis, err := fw.Analyze(context.Background(), app)
+	if err != nil {
+		panic(err)
+	}
 	chosen := core.SelectPatterns(analysis, 2)
 
 	variant, err := fw.GeneratePE(context.Background(), "camera_pe3", app.UsedOps(), chosen)

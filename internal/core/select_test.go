@@ -34,7 +34,10 @@ func selView(t *testing.T) (*Analysis, string, string) {
 		g.Output("o3", g.OpNode(ir.OpAbs, d))
 	}
 	view, _ := mining.ComputeView(g)
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 3, MaxNodes: 2})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 3, MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ranked := mis.Rank(context.Background(), pats)
 
 	mulAdd := graph.New()
@@ -80,7 +83,7 @@ func TestSelectPatternsPrefersAbsorbable(t *testing.T) {
 
 func TestSelectPatternsRespectsK(t *testing.T) {
 	fw := New()
-	an := fw.Analyze(context.Background(), apps.Camera())
+	an := mustAnalyze(t, fw, apps.Camera())
 	for k := 0; k <= 4; k++ {
 		chosen := SelectPatterns(an, k)
 		if len(chosen) > k {
@@ -93,7 +96,7 @@ func TestSelectPatternsDisjointCoverage(t *testing.T) {
 	// Patterns selected in later rounds must add coverage: re-selecting
 	// with a larger k keeps earlier choices as a prefix.
 	fw := New()
-	an := fw.Analyze(context.Background(), apps.Harris())
+	an := mustAnalyze(t, fw, apps.Harris())
 	two := SelectPatterns(an, 2)
 	three := SelectPatterns(an, 3)
 	if len(two) >= 1 && len(three) >= 1 && two[0].Pattern.Code != three[0].Pattern.Code {
@@ -109,7 +112,7 @@ func TestSelectPatternsSkipsMultiRooted(t *testing.T) {
 	// must never return one.
 	fw := New()
 	for _, a := range apps.AnalyzedIP() {
-		an := fw.Analyze(context.Background(), a)
+		an := mustAnalyze(t, fw, a)
 		for _, r := range SelectPatterns(an, 4) {
 			sinks := 0
 			for v := 0; v < r.Pattern.Graph.NumNodes(); v++ {

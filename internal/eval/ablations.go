@@ -36,7 +36,11 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 	}
 	freqVariant := func() (*core.PEVariant, error) {
 		return h.Variant("abl_freq", func(ctx context.Context) (*core.PEVariant, error) {
-			byFreq := mis.RankByFrequency(ctx, h.freqPatterns(ctx, app))
+			pats, err := h.freqPatterns(ctx, app)
+			if err != nil {
+				return nil, err
+			}
+			byFreq := mis.RankByFrequency(ctx, pats)
 			pick := 0
 			for pick < len(byFreq) {
 				if _, err := rewrite.PatternFromMined(byFreq[pick].Pattern.Graph, "probe"); err == nil {
@@ -110,11 +114,15 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 // freqPatterns re-mines the app for the frequency-ranking ablation (the
 // cached analysis is already MIS-ranked; ranking is cheap, mining is
 // what the cache saves — reuse the cached view's parameters).
-func (h *Harness) freqPatterns(ctx context.Context, app *apps.App) []mining.Pattern {
+func (h *Harness) freqPatterns(ctx context.Context, app *apps.App) ([]mining.Pattern, error) {
 	view, _ := mining.ComputeView(app.Graph)
 	minSupport := app.ComputeOps() / 40
 	if minSupport < 4 {
 		minSupport = 4
 	}
-	return mining.Mine(ctx, view, mining.Options{MinSupport: minSupport, MaxNodes: h.FW.MaxPatternNodes})
+	return mining.Mine(ctx, view, mining.Options{
+		MinSupport: minSupport,
+		MaxNodes:   h.FW.MaxPatternNodes,
+		Workers:    h.FW.MineWorkers,
+	})
 }

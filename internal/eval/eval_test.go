@@ -34,13 +34,16 @@ func TestTable1ListsNineApps(t *testing.T) {
 }
 
 func TestFig3PatternsHaveFourOccurrences(t *testing.T) {
-	_, pats := Fig3(context.Background())
+	_, pats, err := Fig3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pats) == 0 {
 		t.Fatal("no patterns")
 	}
 	four := 0
 	for _, p := range pats {
-		if len(p.Embeddings) == 4 {
+		if p.Embeddings.Len() == 4 {
 			four++
 		}
 	}

@@ -76,20 +76,23 @@ func ConvExample() *ir.Graph {
 
 // Fig3 mines the convolution and reports the most frequent subgraphs
 // (the paper's three have four occurrences each).
-func Fig3(ctx context.Context) (*Table, []mining.Pattern) {
+func Fig3(ctx context.Context) (*Table, []mining.Pattern, error) {
 	ctx, span := obs.StartSpan(ctx, "fig3")
 	defer span.End()
 	view, _ := mining.ComputeView(ConvExample())
-	pats := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 3})
+	pats, err := mining.Mine(ctx, view, mining.Options{MinSupport: 3, MaxNodes: 3})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &Table{
 		ID:      "Fig. 3",
 		Title:   "Frequent subgraph mining on the convolution graph",
 		Headers: []string{"Pattern", "Occurrences", "MNI support", "Nodes"},
 	}
 	for _, p := range pats {
-		t.Rows = append(t.Rows, []string{p.Code, d(len(p.Embeddings)), d(p.Support), d(p.Size())})
+		t.Rows = append(t.Rows, []string{p.Code, d(p.Embeddings.Len()), d(p.Support), d(p.Size())})
 	}
-	return t, pats
+	return t, pats, nil
 }
 
 // Fig4 runs MIS analysis on the Fig. 3d subgraph (mul->add->add): four
@@ -105,7 +108,12 @@ func Fig4(ctx context.Context) (*Table, mis.Ranked) {
 	p.AddEdge(m, a1, 0)
 	p.AddEdge(a1, a2, 0)
 	embs := graph.FindEmbeddings(p, view, graph.EmbedOptions{})
-	r := mis.Analyze(mining.Pattern{Graph: p, Code: graph.CanonicalCode(p), Embeddings: embs, Support: len(embs)})
+	r := mis.Analyze(mining.Pattern{
+		Graph:      p,
+		Code:       graph.CanonicalCode(p),
+		Embeddings: graph.EmbeddingListFromRows(p.NumNodes(), embs),
+		Support:    len(embs),
+	})
 	t := &Table{
 		ID:      "Fig. 4",
 		Title:   "Maximal independent set analysis of subgraph C",

@@ -125,8 +125,10 @@ func (h *Harness) buildCtx() context.Context {
 // cells, so they run to completion regardless of any one cell's deadline
 // (the memo wait uses a background context).
 func (h *Harness) Analysis(app *apps.App) *core.Analysis {
+	// buildCtx is uncancellable, so Analyze's only error — cancellation —
+	// cannot occur here.
 	a, _ := h.analyses.do(context.Background(), app.Name, func() (*core.Analysis, error) {
-		return h.FW.Analyze(h.buildCtx(), app), nil
+		return h.FW.Analyze(h.buildCtx(), app)
 	})
 	return a
 }

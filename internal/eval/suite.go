@@ -34,8 +34,12 @@ func (h *Harness) Suite(ctx context.Context, pnr bool) ([]*Table, error) {
 		return nil
 	}
 	tables = append(tables, Table1())
-	t3, _ := Fig3(ctx)
-	tables = append(tables, t3)
+	{
+		t3, _, err := Fig3(ctx)
+		if err := add(t3, err); err != nil {
+			return nil, err
+		}
+	}
 	t4, _ := Fig4(ctx)
 	tables = append(tables, t4)
 	t5, _ := Fig5()

@@ -149,7 +149,10 @@ out o = clamp(s >> 2, 0, 255)
 `
 	g := compileOK(t, src)
 	view, _ := mining.ComputeView(g)
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 4})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pats) == 0 {
 		t.Fatal("compiled kernel mined no patterns")
 	}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// legacyCanonicalCode is the pre-optimization CanonicalCode, kept
+// verbatim as a differential oracle: the fmt-free rewrite must emit
+// byte-identical codes forever, because codes are dedup keys in mined
+// pattern sets, appear in golden tables, and anchor the miner's
+// reference-equivalence suite.
+func legacyCanonicalCode(g *Graph) string {
+	n := g.NumNodes()
+	if n == 0 {
+		return "∅"
+	}
+	inv := make([]string, n)
+	for v := 0; v < n; v++ {
+		inv[v] = fmt.Sprintf("%s/%d/%d", g.Label(NodeID(v)), g.InDegree(NodeID(v)), g.OutDegree(NodeID(v)))
+	}
+	for iter := 0; iter < n; iter++ {
+		next := make([]string, n)
+		changed := false
+		for v := 0; v < n; v++ {
+			var outs, ins []string
+			for _, e := range g.Out(NodeID(v)) {
+				outs = append(outs, fmt.Sprintf("%d>%s", e.Port, inv[e.To]))
+			}
+			for _, e := range g.In(NodeID(v)) {
+				ins = append(ins, fmt.Sprintf("%d<%s", e.Port, inv[e.From]))
+			}
+			sort.Strings(outs)
+			sort.Strings(ins)
+			next[v] = inv[v] + "{" + strings.Join(outs, ",") + "|" + strings.Join(ins, ",") + "}"
+			if next[v] != inv[v] {
+				changed = true
+			}
+		}
+		classes := make(map[string]int)
+		for _, s := range next {
+			if _, ok := classes[s]; !ok {
+				classes[s] = 0
+			}
+		}
+		keys := make([]string, 0, len(classes))
+		for k := range classes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			classes[k] = i
+		}
+		base := make([]string, n)
+		for v := 0; v < n; v++ {
+			base[v] = fmt.Sprintf("%s·c%d", g.Label(NodeID(v)), classes[next[v]])
+		}
+		if !changed {
+			break
+		}
+		inv = base
+	}
+
+	type cand struct {
+		v   NodeID
+		inv string
+	}
+	cands := make([]cand, n)
+	for v := 0; v < n; v++ {
+		cands[v] = cand{NodeID(v), inv[v]}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].inv != cands[b].inv {
+			return cands[a].inv < cands[b].inv
+		}
+		return cands[a].v < cands[b].v
+	})
+
+	best := ""
+	perm := make([]NodeID, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	steps := 0
+	rec = func() {
+		steps++
+		if steps > 200_000 {
+			return
+		}
+		if len(perm) == n {
+			code := legacyEncodeWithOrder(g, perm)
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		var classInv string
+		for _, c := range cands {
+			if !used[c.v] {
+				classInv = c.inv
+				break
+			}
+		}
+		for _, c := range cands {
+			if used[c.v] || c.inv != classInv {
+				continue
+			}
+			used[c.v] = true
+			perm = append(perm, c.v)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[c.v] = false
+		}
+	}
+	rec()
+	if best == "" {
+		all := make([]string, n)
+		for v := 0; v < n; v++ {
+			all[v] = inv[v]
+		}
+		sort.Strings(all)
+		return "~" + strings.Join(all, ";")
+	}
+	return best
+}
+
+func legacyEncodeWithOrder(g *Graph, order []NodeID) string {
+	rank := make(map[NodeID]int, len(order))
+	for i, v := range order {
+		rank[v] = i
+	}
+	var b strings.Builder
+	for i, v := range order {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(g.Label(v))
+	}
+	type triple struct{ f, t, p int }
+	var es []triple
+	for _, e := range g.Edges() {
+		es = append(es, triple{rank[e.From], rank[e.To], e.Port})
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].f != es[b].f {
+			return es[a].f < es[b].f
+		}
+		if es[a].t != es[b].t {
+			return es[a].t < es[b].t
+		}
+		return es[a].p < es[b].p
+	})
+	b.WriteByte('#')
+	for i, e := range es {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d,%d,%d", e.f, e.t, e.p)
+	}
+	return b.String()
+}
+
+// randomTestGraph builds a random labeled ported digraph with up to
+// maxNodes nodes. Shared by the canon differential and matcher-order
+// tests.
+func randomTestGraph(rng *rand.Rand, maxNodes int) *Graph {
+	labels := []string{"add", "mul", "sub", "shl", "const", "abs"}
+	g := New()
+	n := 1 + rng.Intn(maxNodes)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	m := rng.Intn(2 * n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Intn(3))
+	}
+	return g
+}
+
+// TestCanonicalCodeMatchesLegacy pins the optimized CanonicalCode to the
+// historical byte format across a large random corpus.
+func TestCanonicalCodeMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		g := randomTestGraph(rng, 7)
+		got, want := CanonicalCode(g), legacyCanonicalCode(g)
+		if got != want {
+			t.Fatalf("graph %d: code drifted\n got %q\nwant %q\ngraph %s", i, got, want, g)
+		}
+	}
+	if got, want := CanonicalCode(New()), legacyCanonicalCode(New()); got != want {
+		t.Fatalf("empty graph: %q != %q", got, want)
+	}
+}
+
+func BenchmarkCanonicalCode(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	gs := make([]*Graph, 64)
+	for i := range gs {
+		gs[i] = randomTestGraph(rng, 6)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(gs[i%len(gs)])
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+// EmbeddingList is a flat embedding store: one contiguous []int32 holds
+// every embedding row-major, so appending an embedding is a single
+// bulk append and reading one is a slice of the backing array. The
+// layout serves the frequent-subgraph miner's two hot loops: MNI support
+// counts distinct values per pattern position (a strided scan of one
+// array), and extension generation streams whole rows — neither
+// allocates per embedding, unlike the pointer-per-row [][]NodeID layout
+// it replaces.
+//
+// Rows keep the exact order the enumerator emitted them in; everything
+// downstream of the miner (occurrence dedup, MIS ranking, pattern
+// selection) is order-sensitive, so the list is append-only.
+type EmbeddingList struct {
+	flat []int32
+	k    int // positions per embedding
+	n    int
+}
+
+// NewEmbeddingList returns an empty list for patterns with k positions.
+func NewEmbeddingList(k int) *EmbeddingList {
+	return &EmbeddingList{k: k}
+}
+
+// Len reports the number of embeddings. A nil list is empty.
+func (l *EmbeddingList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Positions reports the number of pattern positions per embedding.
+func (l *EmbeddingList) Positions() int {
+	if l == nil {
+		return 0
+	}
+	return l.k
+}
+
+// At returns the target node mapped to position pos of embedding e.
+func (l *EmbeddingList) At(e, pos int) NodeID { return NodeID(l.flat[e*l.k+pos]) }
+
+// Raw exposes the row-major backing array (len = Len()*Positions());
+// element e*Positions()+pos is embedding e's image of position pos. The
+// slice is shared; callers must not modify it.
+func (l *EmbeddingList) Raw() []int32 {
+	if l == nil {
+		return nil
+	}
+	return l.flat
+}
+
+// AppendRow appends one embedding given as the per-position assignment
+// (len must be Positions()).
+func (l *EmbeddingList) AppendRow(asg []int32) {
+	l.flat = append(l.flat, asg[:l.k]...)
+	l.n++
+}
+
+// Row fills buf (grown as needed) with embedding e and returns it.
+func (l *EmbeddingList) Row(e int, buf Embedding) Embedding {
+	if cap(buf) < l.k {
+		buf = make(Embedding, l.k)
+	}
+	buf = buf[:l.k]
+	row := l.flat[e*l.k : (e+1)*l.k]
+	for pos, v := range row {
+		buf[pos] = NodeID(v)
+	}
+	return buf
+}
+
+// Embedding materializes embedding e as a standalone row.
+func (l *EmbeddingList) Embedding(e int) Embedding { return l.Row(e, nil) }
+
+// Rows materializes every embedding (compatibility helper for callers
+// that want the old [][]NodeID shape; the miner itself never does this).
+func (l *EmbeddingList) Rows() []Embedding {
+	if l.Len() == 0 {
+		return nil
+	}
+	out := make([]Embedding, l.n)
+	flat := make([]NodeID, l.n*l.k)
+	for e := range out {
+		row := flat[e*l.k : (e+1)*l.k]
+		for pos := range row {
+			row[pos] = NodeID(l.flat[e*l.k+pos])
+		}
+		out[e] = row
+	}
+	return out
+}
+
+// EmbeddingListFromRows builds a list with k positions from materialized
+// rows (used by callers that enumerate with FindEmbeddings directly).
+func EmbeddingListFromRows(k int, rows []Embedding) *EmbeddingList {
+	l := NewEmbeddingList(k)
+	l.flat = make([]int32, 0, k*len(rows))
+	for _, row := range rows {
+		for _, v := range row {
+			l.flat = append(l.flat, int32(v))
+		}
+	}
+	l.n = len(rows)
+	return l
+}
+
+// Equal reports whether two lists hold the same embeddings in the same
+// order (nil and empty compare equal).
+func (l *EmbeddingList) Equal(o *EmbeddingList) bool {
+	if l.Len() != o.Len() || l.Positions() != o.Positions() {
+		return false
+	}
+	for i, v := range l.Raw() {
+		if v != o.flat[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -125,6 +125,51 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CompactClone returns a deep copy of g whose per-node edge lists share
+// one backing array, costing four allocations regardless of node count.
+// The shared lists are capacity-clamped, so appending to any of them
+// (AddEdge) copies out instead of clobbering a neighbor; the clone is
+// semantically a plain Clone, just laid out for bulk production.
+func (g *Graph) CompactClone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		out:    make([][]Edge, len(g.out)),
+		in:     make([][]Edge, len(g.in)),
+	}
+	total := 2 * g.NumEdges()
+	arena := make([]Edge, 0, total)
+	for v := range g.out {
+		s := len(arena)
+		arena = append(arena, g.out[v]...)
+		c.out[v] = arena[s:len(arena):len(arena)]
+		s = len(arena)
+		arena = append(arena, g.in[v]...)
+		c.in[v] = arena[s:len(arena):len(arena)]
+	}
+	return c
+}
+
+// CopyFrom makes g a deep copy of src, reusing g's backing arrays where
+// capacity allows. A warm receiver copies without allocating, which is
+// what the miner's extension enumerator relies on: it rebuilds the same
+// parent-plus-one-edge trial graph for every candidate and only Clones
+// the few that survive deduplication.
+func (g *Graph) CopyFrom(src *Graph) {
+	n := len(src.labels)
+	g.labels = append(g.labels[:0], src.labels...)
+	if cap(g.out) >= n {
+		g.out = g.out[:n]
+		g.in = g.in[:n]
+	} else {
+		g.out = append(g.out[:cap(g.out)], make([][]Edge, n-cap(g.out))...)
+		g.in = append(g.in[:cap(g.in)], make([][]Edge, n-cap(g.in))...)
+	}
+	for v := 0; v < n; v++ {
+		g.out[v] = append(g.out[v][:0], src.out[v]...)
+		g.in[v] = append(g.in[v][:0], src.in[v]...)
+	}
+}
+
 // HasEdge reports whether an edge from -> to with the given port exists.
 func (g *Graph) HasEdge(from, to NodeID, port int) bool {
 	for _, e := range g.out[from] {

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// listEqualRows compares an SoA list against materialized rows,
+// including order — the matcher must reproduce FindEmbeddings' DFS
+// emission order exactly, not just the same set.
+func listEqualRows(l *EmbeddingList, rows []Embedding) bool {
+	if l.Len() != len(rows) {
+		return false
+	}
+	for e, row := range rows {
+		if l.Positions() != len(row) {
+			return false
+		}
+		for pos, v := range row {
+			if l.At(e, pos) != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMatcherMatchesFindEmbeddings drives the SoA matcher and the
+// allocation-per-call reference enumerator over a random corpus of
+// (pattern, target) pairs and requires identical embeddings in
+// identical order, with and without a limit.
+func TestMatcherMatchesFindEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		target := randomTestGraph(rng, 12)
+		m := NewMatcher(target)
+		for j := 0; j < 8; j++ {
+			pattern := randomTestGraph(rng, 4)
+			for _, limit := range []int{0, 1, 3} {
+				want := FindEmbeddings(pattern, target, EmbedOptions{Limit: limit})
+				got := m.Find(pattern, limit)
+				if !listEqualRows(got, want) {
+					t.Fatalf("case %d/%d limit %d: matcher diverged from FindEmbeddings\npattern %s\ntarget %s\ngot %d rows, want %d",
+						i, j, limit, pattern, target, got.Len(), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestMatcherReuseIsStateless proves back-to-back Find calls on one
+// matcher do not contaminate each other (the scratch is fully reset).
+func TestMatcherReuseIsStateless(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	target := randomTestGraph(rng, 14)
+	patterns := make([]*Graph, 6)
+	for i := range patterns {
+		patterns[i] = randomTestGraph(rng, 4)
+	}
+	m := NewMatcher(target)
+	first := make([]*EmbeddingList, len(patterns))
+	for i, p := range patterns {
+		first[i] = m.Find(p, 0)
+	}
+	for round := 0; round < 3; round++ {
+		for i := len(patterns) - 1; i >= 0; i-- { // different call order
+			if got := m.Find(patterns[i], 0); !got.Equal(first[i]) {
+				t.Fatalf("round %d pattern %d: reused matcher produced different embeddings", round, i)
+			}
+		}
+	}
+}
+
+func TestEmbeddingListRoundTrip(t *testing.T) {
+	rows := []Embedding{{3, 1, 4}, {1, 5, 9}, {2, 6, 5}}
+	l := EmbeddingListFromRows(3, rows)
+	if l.Len() != 3 || l.Positions() != 3 {
+		t.Fatalf("len=%d positions=%d", l.Len(), l.Positions())
+	}
+	if !listEqualRows(l, rows) {
+		t.Fatal("round-trip mismatch")
+	}
+	back := l.Rows()
+	for e := range rows {
+		for pos := range rows[e] {
+			if back[e][pos] != rows[e][pos] {
+				t.Fatalf("Rows()[%d][%d] = %d, want %d", e, pos, back[e][pos], rows[e][pos])
+			}
+		}
+	}
+	if l.At(0, 1) != 1 || l.At(1, 1) != 5 || l.At(2, 1) != 6 {
+		t.Fatalf("position-1 column = %d,%d,%d", l.At(0, 1), l.At(1, 1), l.At(2, 1))
+	}
+	if raw := l.Raw(); len(raw) != 9 || raw[4] != 5 {
+		t.Fatalf("Raw() = %v", raw)
+	}
+	var nilList *EmbeddingList
+	if nilList.Len() != 0 || nilList.Positions() != 0 {
+		t.Fatal("nil list must read as empty")
+	}
+	if !nilList.Equal(NewEmbeddingList(0)) {
+		t.Fatal("nil and empty lists must compare equal")
+	}
+	if l.Equal(EmbeddingListFromRows(3, rows[:2])) {
+		t.Fatal("lists of different length compared equal")
+	}
+}

@@ -159,14 +159,17 @@ func (op Op) IsStructural() bool {
 
 func (op Op) String() string { return op.Name() }
 
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opTable))
+	for op, info := range opTable {
+		m[info.name] = op
+	}
+	return m
+}()
+
 // OpByName resolves a mining label back to an Op; OpInvalid if unknown.
 func OpByName(name string) Op {
-	for op, info := range opTable {
-		if info.name == name {
-			return op
-		}
-	}
-	return OpInvalid
+	return opByName[name]
 }
 
 // AllComputeOps returns every minable compute op in a stable order.

@@ -1,0 +1,266 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// randomMiningGraph builds a random labeled ported digraph with up to
+// maxNodes nodes for the MNI property test.
+func randomMiningGraph(rng *rand.Rand, maxNodes int) *graph.Graph {
+	labels := []string{"add", "mul", "sub", "shl"}
+	g := graph.New()
+	n := 1 + rng.Intn(maxNodes)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	m := rng.Intn(2 * n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rng.Intn(3))
+	}
+	return g
+}
+
+// analyzeOptions reproduces core.Framework.Analyze's per-app mining
+// options (MinSupport = max(4, computeOps/40), MaxNodes = 4) so the
+// equivalence suite exercises exactly the production workloads.
+func analyzeOptions(app *apps.App) Options {
+	minSupport := app.ComputeOps() / 40
+	if minSupport < 4 {
+		minSupport = 4
+	}
+	return Options{MinSupport: minSupport, MaxNodes: 4}
+}
+
+// patternsEqual requires byte-identity: same pattern count, and per
+// position the same canonical code, support, concrete graph rendering,
+// and embedding list (values AND order).
+func patternsEqual(t *testing.T, label string, got, want []Pattern) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d patterns, reference has %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		g, w := &got[i], &want[i]
+		if g.Code != w.Code {
+			t.Errorf("%s: pattern %d code %q != reference %q", label, i, g.Code, w.Code)
+			return
+		}
+		if g.Support != w.Support {
+			t.Errorf("%s: pattern %d (%s) support %d != reference %d", label, i, g.Code, g.Support, w.Support)
+		}
+		if g.Graph.String() != w.Graph.String() {
+			t.Errorf("%s: pattern %d (%s) concrete graph differs:\n got %s\nwant %s", label, i, g.Code, g.Graph, w.Graph)
+		}
+		if !g.Embeddings.Equal(w.Embeddings) {
+			t.Errorf("%s: pattern %d (%s) embedding lists differ (%d vs %d rows)",
+				label, i, g.Code, g.Embeddings.Len(), w.Embeddings.Len())
+		}
+	}
+}
+
+// TestMineMatchesReference pins the parallel SoA miner to the frozen
+// serial reference byte-identically — patterns, codes, supports,
+// concrete graphs, and embedding lists in order — on the full nine-app
+// suite, at one and at eight workers.
+func TestMineMatchesReference(t *testing.T) {
+	all := apps.All()
+	if len(all) != 9 {
+		t.Fatalf("app suite has %d apps, want 9", len(all))
+	}
+	for _, app := range all {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			view, _ := ComputeView(app.Graph)
+			opt := analyzeOptions(app)
+			want := MineReference(context.Background(), view, opt)
+			for _, workers := range []int{1, 8} {
+				opt.Workers = workers
+				got, err := Mine(context.Background(), view, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				patternsEqual(t, fmt.Sprintf("workers=%d", workers), got, want)
+			}
+		})
+	}
+}
+
+// TestMineWorkersDeterministic cross-checks the worker counts against
+// each other on every app — the parallel miner must be a pure function
+// of its inputs, not of its schedule.
+func TestMineWorkersDeterministic(t *testing.T) {
+	for _, app := range apps.All() {
+		view, _ := ComputeView(app.Graph)
+		opt := analyzeOptions(app)
+		opt.Workers = 1
+		one, err := Mine(context.Background(), view, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Workers = 8
+		eight, err := Mine(context.Background(), view, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patternsEqual(t, app.Name+" workers 1 vs 8", eight, one)
+	}
+}
+
+// TestMineConcurrentHammer drives 32 goroutines through Mine on shared
+// target graphs with mixed worker counts — the race detector's view of
+// the claim that miners share nothing but the immutable target. Every
+// result must still equal the reference.
+func TestMineConcurrentHammer(t *testing.T) {
+	targets := []*apps.App{apps.Camera(), apps.Harris(), apps.ResNet(), apps.Laplacian()}
+	views := make([]*graph.Graph, len(targets))
+	opts := make([]Options, len(targets))
+	wants := make([][]Pattern, len(targets))
+	for i, app := range targets {
+		views[i], _ = ComputeView(app.Graph)
+		opts[i] = analyzeOptions(app)
+		wants[i] = MineReference(context.Background(), views[i], opts[i])
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			i := gi % len(targets)
+			opt := opts[i]
+			opt.Workers = 1 + gi%8
+			got, err := Mine(context.Background(), views[i], opt)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != len(wants[i]) {
+				errs <- fmt.Errorf("%s: goroutine %d got %d patterns, want %d",
+					targets[i].Name, gi, len(got), len(wants[i]))
+				return
+			}
+			for k := range got {
+				if got[k].Code != wants[i][k].Code || got[k].Support != wants[i][k].Support ||
+					!got[k].Embeddings.Equal(wants[i][k].Embeddings) {
+					errs <- fmt.Errorf("%s: goroutine %d pattern %d diverged", targets[i].Name, gi, k)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMineCanceledContext: a pre-canceled context must abort before any
+// mining work and classify as fault.ErrCanceled, at one worker and many.
+func TestMineCanceledContext(t *testing.T) {
+	view, _ := ComputeView(apps.Camera().Graph)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 1, 8} {
+		pats, err := Mine(ctx, view, Options{MinSupport: 8, MaxNodes: 4, Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: Mine on canceled context returned nil error", workers)
+		}
+		if !errors.Is(err, fault.ErrCanceled) {
+			t.Errorf("workers=%d: error %v not classified fault.ErrCanceled", workers, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: error %v does not unwrap to context.Canceled", workers, err)
+		}
+		if pats != nil {
+			t.Errorf("workers=%d: canceled Mine returned %d patterns, want none", workers, len(pats))
+		}
+	}
+}
+
+// TestMNIBruteForce: on random small graphs, the epoch-stamped SoA
+// support count must equal a from-scratch recount with hash sets.
+func TestMNIBruteForce(t *testing.T) {
+	rng := newTestRand(17)
+	for trial := 0; trial < 300; trial++ {
+		target := randomMiningGraph(rng, 6)
+		w := newMineWorker(target)
+		pattern := randomMiningGraph(rng, 3)
+		embs := graph.FindEmbeddings(pattern, target, graph.EmbedOptions{})
+		list := w.matcher.Find(pattern, 0)
+		got := w.mni(list)
+		want := refMNISupport(pattern, embs)
+		if got != want {
+			t.Fatalf("trial %d: mni=%d, brute force=%d\npattern %s\ntarget %s",
+				trial, got, want, pattern, target)
+		}
+	}
+}
+
+// TestMaxEmbeddingsCapConservative pins the cap's direction: truncating
+// embedding enumeration may only lower the reported support, never raise
+// it, and capped results still match the reference run with the same cap.
+func TestMaxEmbeddingsCapConservative(t *testing.T) {
+	view, _ := ComputeView(apps.Camera().Graph)
+	uncapped, err := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySupport := make(map[string]int, len(uncapped))
+	for _, p := range uncapped {
+		bySupport[p.Code] = p.Support
+	}
+	capped, err := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4, MaxEmbeddings: 25, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range capped {
+		if p.Embeddings.Len() > 25 {
+			t.Errorf("pattern %s: %d embeddings exceed MaxEmbeddings=25", p.Code, p.Embeddings.Len())
+		}
+		if full, ok := bySupport[p.Code]; ok && p.Support > full {
+			t.Errorf("pattern %s: capped support %d > uncapped %d", p.Code, p.Support, full)
+		}
+	}
+	want := MineReference(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4, MaxEmbeddings: 25})
+	patternsEqual(t, "capped", capped, want)
+}
+
+// TestMineAllocGates pins the two zero-allocation hot paths the SoA
+// rewrite bought: the extension key scan and the MNI support count. Both
+// run over a real mined pattern after one warmup call (steady state —
+// scratch grown, maps at capacity).
+func TestMineAllocGates(t *testing.T) {
+	view, _ := ComputeView(apps.Camera().Graph)
+	w := newMineWorker(view)
+	// A real frequent pattern with plenty of embeddings: mul->add.
+	p := graph.New()
+	m := p.AddNode("mul")
+	a := p.AddNode("add")
+	p.AddEdge(m, a, 0)
+	pat := Pattern{Graph: p, Code: graph.CanonicalCode(p), Embeddings: w.matcher.Find(p, 0)}
+	pat.Support = w.mni(pat.Embeddings)
+	if pat.Embeddings.Len() == 0 {
+		t.Fatal("fixture pattern has no embeddings")
+	}
+	w.ext.scan(&pat) // warmup: grow keys map and key list
+	if allocs := testing.AllocsPerRun(50, func() { w.ext.scan(&pat) }); allocs > 0 {
+		t.Errorf("extension scan allocates %.1f times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { w.mni(pat.Embeddings) }); allocs > 0 {
+		t.Errorf("mniSupport allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,169 @@
+package mining
+
+import (
+	"repro/internal/graph"
+)
+
+// candidate is one deduplicated extension: a concrete pattern graph and
+// its canonical code.
+type candidate struct {
+	pattern *graph.Graph
+	code    string
+}
+
+// extKey packs one extension descriptor — (direction, pattern endpoint,
+// other endpoint's interned label, other endpoint's pattern position or
+// absent, port) — into a uint64 so the per-parent dedup set is a map of
+// integers instead of a map of structs with a string field. The interned
+// label id discriminates exactly as the label string does (interning is
+// injective per target), so the key space matches the reference's.
+//
+// Layout: [63] srcIn | [48:63) pattern node | [32:48) label id |
+// [16:32) other pattern node + 1 (0 = outside the image) | [0:16) port.
+type extKey = uint64
+
+func packExt(srcIn bool, pn graph.NodeID, label int32, otherP int32, port int) extKey {
+	k := uint64(pn)<<48 | uint64(uint16(label))<<32 | uint64(uint16(otherP+1))<<16 | uint64(uint16(port))
+	if srcIn {
+		k |= 1 << 63
+	}
+	return k
+}
+
+func unpackExt(k extKey) (srcIn bool, pn graph.NodeID, label int32, otherP int32, port int) {
+	srcIn = k&(1<<63) != 0
+	pn = graph.NodeID(k >> 48 & 0x7fff)
+	label = int32(uint16(k >> 32))
+	otherP = int32(uint16(k>>16)) - 1
+	port = int(uint16(k))
+	return
+}
+
+// extender enumerates the one-edge extensions of a pattern witnessed by
+// its embeddings. The scan phase — finding the distinct extension keys
+// in first-encounter order — is allocation-free in steady state: the
+// target-node→pattern-position reverse map is an epoch-stamped array,
+// keys are packed uint64s deduplicated in a reused map, and the key list
+// reuses its backing array. Only the build phase, which materializes one
+// pattern graph and canonical code per distinct key, allocates.
+type extender struct {
+	m      *graph.Matcher
+	target *graph.Graph
+
+	rev      []int32 // target node -> pattern position (valid when revE matches epoch)
+	revE     []int64
+	epoch    int64
+	keys     map[extKey]struct{}
+	keyList  []extKey
+	codeSeen map[string]struct{}
+	canon    graph.Canonizer
+	scratch  *graph.Graph // trial parent+edge graph; cloned only for survivors
+}
+
+func (x *extender) init(m *graph.Matcher) {
+	x.m = m
+	x.target = m.Target()
+	n := x.target.NumNodes()
+	x.rev = make([]int32, n)
+	x.revE = make([]int64, n)
+	x.keys = make(map[extKey]struct{})
+	x.codeSeen = make(map[string]struct{})
+	x.scratch = graph.New()
+}
+
+// extend returns the parent's extension candidates in the reference
+// order: scan for distinct extension keys in first-encounter order, then
+// build each key's pattern graph and keep the first key per canonical
+// code. seen, when non-nil, is consulted (read-only) to drop candidates
+// some earlier round already evaluated; the serial merge re-applies the
+// same filter authoritatively, so the prefilter only saves work.
+func (x *extender) extend(p *Pattern, seen *codeSet) []candidate {
+	x.scan(p)
+	if len(x.keyList) == 0 {
+		return nil
+	}
+	clear(x.codeSeen)
+	var cands []candidate
+	for _, k := range x.keyList {
+		srcIn, pn, label, otherP, port := unpackExt(k)
+		// Build the trial graph into reused scratch; most candidates are
+		// duplicates of an earlier key or round and never need a real copy.
+		t := x.scratch
+		t.CopyFrom(p.Graph)
+		other := graph.NodeID(otherP)
+		if otherP < 0 {
+			other = t.AddNode(x.m.LabelName(label))
+		}
+		if srcIn {
+			t.AddEdge(pn, other, port)
+		} else {
+			t.AddEdge(other, pn, port)
+		}
+		code := x.canon.Code(t)
+		if _, dup := x.codeSeen[code]; dup {
+			continue
+		}
+		x.codeSeen[code] = struct{}{}
+		if seen != nil && seen.has(code) {
+			continue
+		}
+		cands = append(cands, candidate{t.CompactClone(), code})
+	}
+	return cands
+}
+
+// scan fills keyList with the distinct extension keys of p's embeddings,
+// iterating embeddings → pattern positions → outgoing then incoming
+// target edges in adjacency order (the reference's enumeration order).
+// An edge between two image nodes that the pattern already contains is
+// not an extension.
+func (x *extender) scan(p *Pattern) {
+	x.keyList = x.keyList[:0]
+	clear(x.keys)
+	l := p.Embeddings
+	np := l.Positions()
+	raw := l.Raw()
+	for e := 0; e < l.Len(); e++ {
+		row := raw[e*np : (e+1)*np]
+		x.epoch++
+		for pi := 0; pi < np; pi++ {
+			tv := row[pi]
+			x.rev[tv] = int32(pi)
+			x.revE[tv] = x.epoch
+		}
+		for pi := 0; pi < np; pi++ {
+			pn := graph.NodeID(pi)
+			tv := graph.NodeID(row[pi])
+			for _, te := range x.target.Out(tv) {
+				otherP := int32(-1)
+				if x.revE[te.To] == x.epoch {
+					otherP = x.rev[te.To]
+				}
+				if otherP >= 0 && p.Graph.HasEdge(pn, graph.NodeID(otherP), te.Port) {
+					continue
+				}
+				k := packExt(true, pn, x.m.TargetLabelID(te.To), otherP, te.Port)
+				if _, dup := x.keys[k]; dup {
+					continue
+				}
+				x.keys[k] = struct{}{}
+				x.keyList = append(x.keyList, k)
+			}
+			for _, te := range x.target.In(tv) {
+				otherP := int32(-1)
+				if x.revE[te.From] == x.epoch {
+					otherP = x.rev[te.From]
+				}
+				if otherP >= 0 && p.Graph.HasEdge(graph.NodeID(otherP), pn, te.Port) {
+					continue
+				}
+				k := packExt(false, pn, x.m.TargetLabelID(te.From), otherP, te.Port)
+				if _, dup := x.keys[k]; dup {
+					continue
+				}
+				x.keys[k] = struct{}{}
+				x.keyList = append(x.keyList, k)
+			}
+		}
+	}
+}

@@ -36,7 +36,11 @@ func convGraph() *ir.Graph {
 func mineConv(t *testing.T, minSupport int) []Pattern {
 	t.Helper()
 	view, _ := ComputeView(convGraph())
-	return Mine(context.Background(), view, Options{MinSupport: minSupport, MaxNodes: 6})
+	pats, err := Mine(context.Background(), view, Options{MinSupport: minSupport, MaxNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pats
 }
 
 func findPattern(pats []Pattern, want *graph.Graph) *Pattern {
@@ -65,8 +69,8 @@ func TestMineConvFindsMulAdd(t *testing.T) {
 	if got.Support != 3 {
 		t.Errorf("mul->add MNI support = %d, want 3", got.Support)
 	}
-	if len(got.Embeddings) != 4 {
-		t.Errorf("mul->add occurrences = %d, paper says 4", len(got.Embeddings))
+	if got.Embeddings.Len() != 4 {
+		t.Errorf("mul->add occurrences = %d, paper says 4", got.Embeddings.Len())
 	}
 }
 
@@ -83,8 +87,8 @@ func TestMineConvFindsConstMulAdd(t *testing.T) {
 	if got == nil {
 		t.Fatal("const->mul->add (Fig. 3c) not mined")
 	}
-	if len(got.Embeddings) != 4 {
-		t.Errorf("const->mul->add occurrences = %d, paper says 4", len(got.Embeddings))
+	if got.Embeddings.Len() != 4 {
+		t.Errorf("const->mul->add occurrences = %d, paper says 4", got.Embeddings.Len())
 	}
 }
 
@@ -102,8 +106,8 @@ func TestMineConvFindsMulAddAdd(t *testing.T) {
 	if got == nil {
 		t.Fatal("mul->add->add (Fig. 3d) not mined")
 	}
-	if len(got.Embeddings) != 4 {
-		t.Errorf("Fig. 3d occurrences = %d, paper says 4", len(got.Embeddings))
+	if got.Embeddings.Len() != 4 {
+		t.Errorf("Fig. 3d occurrences = %d, paper says 4", got.Embeddings.Len())
 	}
 	if got.Support != 3 {
 		t.Errorf("Fig. 3d MNI support = %d, want 3", got.Support)
@@ -138,7 +142,11 @@ func TestPatternsConnectedAndDeduped(t *testing.T) {
 
 func TestMaxNodesRespected(t *testing.T) {
 	view, _ := ComputeView(convGraph())
-	for _, p := range Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 3}) {
+	pats, err := Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pats {
 		if p.Size() > 3 {
 			t.Errorf("pattern %s exceeds MaxNodes=3 (%d nodes)", p.Code, p.Size())
 		}
@@ -191,7 +199,10 @@ func TestMineCameraPipeline(t *testing.T) {
 	// pattern set that includes a multiply-accumulate shape (from the
 	// color-correction matrix).
 	view, _ := ComputeView(apps.Camera().Graph)
-	pats := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 5})
+	pats, err := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pats) == 0 {
 		t.Fatal("no frequent patterns in camera pipeline")
 	}
@@ -214,15 +225,60 @@ func BenchmarkMineConv(b *testing.B) {
 	view, _ := ComputeView(convGraph())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 6})
+		if _, err := Mine(context.Background(), view, Options{MinSupport: 2, MaxNodes: 6}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
-func BenchmarkMineCamera(b *testing.B) {
+func benchmarkMineCamera(b *testing.B, workers int) {
 	view, _ := ComputeView(apps.Camera().Graph)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4})
+		if _, err := Mine(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineCamera(b *testing.B)         { benchmarkMineCamera(b, 0) }
+func BenchmarkMineCameraWorkers8(b *testing.B) { benchmarkMineCamera(b, 8) }
+
+// BenchmarkMineCameraReference is the frozen pre-SoA miner on the same
+// workload: the denominator for the speedup gate in BENCH_mine.json.
+func BenchmarkMineCameraReference(b *testing.B) {
+	view, _ := ComputeView(apps.Camera().Graph)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MineReference(context.Background(), view, Options{MinSupport: 8, MaxNodes: 4})
+	}
+}
+
+// BenchmarkMineSuite mines every application in the paper's nine-app
+// suite with the per-app Analyze options.
+func BenchmarkMineSuite(b *testing.B) {
+	type workload struct {
+		view *graph.Graph
+		opt  Options
+	}
+	var loads []workload
+	for _, app := range apps.All() {
+		view, _ := ComputeView(app.Graph)
+		minSupport := app.ComputeOps() / 40
+		if minSupport < 4 {
+			minSupport = 4
+		}
+		loads = append(loads, workload{view, Options{MinSupport: minSupport, MaxNodes: 4}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range loads {
+			if _, err := Mine(context.Background(), w.view, w.opt); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

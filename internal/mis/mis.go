@@ -42,7 +42,7 @@ const ExactThreshold = 40
 
 // analyzeTraced is Analyze under a per-pattern span.
 func analyzeTraced(ctx context.Context, p mining.Pattern) Ranked {
-	_, span := obs.StartSpan(ctx, "mis.analyze", obs.Int("embeddings", len(p.Embeddings)))
+	_, span := obs.StartSpan(ctx, "mis.analyze", obs.Int("embeddings", p.Embeddings.Len()))
 	r := Analyze(p)
 	span.SetAttrs(obs.Int("occurrences", len(r.Occurrences)), obs.Int("mis", r.MISSize))
 	span.End()
@@ -120,11 +120,13 @@ func RankByFrequency(ctx context.Context, patterns []mining.Pattern) []Ranked {
 }
 
 // dedupeBySet collapses embeddings that cover the same target-node set
-// (automorphic images of one occurrence).
-func dedupeBySet(embs []graph.Embedding) []graph.Embedding {
-	seen := make(map[string]bool, len(embs))
+// (automorphic images of one occurrence). First occurrence wins, in
+// list order — downstream pattern selection is order-sensitive.
+func dedupeBySet(l *graph.EmbeddingList) []graph.Embedding {
+	seen := make(map[string]bool, l.Len())
 	var out []graph.Embedding
-	for _, e := range embs {
+	for ei := 0; ei < l.Len(); ei++ {
+		e := l.Embedding(ei)
 		ids := make([]int, len(e))
 		for i, v := range e {
 			ids[i] = int(v)

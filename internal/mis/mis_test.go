@@ -38,7 +38,12 @@ func minedPattern(t *testing.T, view *graph.Graph, build func(*graph.Graph)) min
 	if len(embs) == 0 {
 		t.Fatal("test pattern has no embeddings")
 	}
-	return mining.Pattern{Graph: p, Code: graph.CanonicalCode(p), Embeddings: embs, Support: len(embs)}
+	return mining.Pattern{
+		Graph:      p,
+		Code:       graph.CanonicalCode(p),
+		Embeddings: graph.EmbeddingListFromRows(p.NumNodes(), embs),
+		Support:    len(embs),
+	}
 }
 
 // TestFig4MulAddAdd reproduces the paper's Fig. 4 exactly: subgraph C
@@ -140,7 +145,10 @@ func TestRankByFrequencyDiffersFromMIS(t *testing.T) {
 
 func TestMISSizeNeverExceedsOccurrences(t *testing.T) {
 	view := convView()
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range pats {
 		r := Analyze(p)
 		if r.MISSize > len(r.Occurrences) {
@@ -154,7 +162,10 @@ func TestMISSizeNeverExceedsOccurrences(t *testing.T) {
 
 func TestIndependentSetIsActuallyIndependent(t *testing.T) {
 	view := convView()
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 2, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range pats {
 		r := Analyze(p)
 		used := map[graph.NodeID]int{}

@@ -172,7 +172,10 @@ func TestMapAllAppsWithBaselineEquivalence(t *testing.T) {
 func TestEndToEndCameraSpecialization(t *testing.T) {
 	app := apps.Camera()
 	view, _ := mining.ComputeView(app.Graph)
-	pats := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 4})
+	pats, err := mining.Mine(context.Background(), view, mining.Options{MinSupport: 8, MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pats) == 0 {
 		t.Fatal("no patterns mined from camera")
 	}
