@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-pnr bench-mine perfcheck minecheck fuzz golden faultcheck panic-lint diag-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck fuzz golden faultcheck panic-lint diag-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ bench-pnr:
 # mining-rewrite gate checks.
 bench-mine:
 	$(GO) test . -run TestWriteBenchMine -bench-mine=BENCH_mine.json -count=1 -v
+
+# Refresh the persistent-cache trajectory (BENCH_sweep.json): the full
+# fast-mode suite cold vs warm from the content-addressed store, the
+# cache footprint, and the warm speedup the ≥5x gate checks.
+bench-sweep:
+	$(GO) test . -run TestWriteBenchSweep -bench-sweep=BENCH_sweep.json -count=1 -v
+
+# The persistent-store and sweep-engine gates (DESIGN.md §12): codecs
+# round-trip pipeline artifacts exactly, poisoned cache entries are
+# detected and recomputed, a warm suite is byte-identical to cold, and a
+# checkpointed sweep resumes without recomputing finished cells.
+sweepcheck:
+	$(GO) test ./internal/store/ -count=1
+	$(GO) test ./internal/eval/ -run TestPersist -count=1
+	$(GO) test -race ./internal/sweep/ -count=1
 
 # The miner equivalence and performance gates (DESIGN.md §11): the
 # parallel SoA miner must stay byte-identical to the frozen serial
@@ -100,5 +115,5 @@ obscheck:
 	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1
 	$(GO) test . -run TestObsDisabledOverheadUnderTwoPercent -count=1
 
-check: vet fmt-check panic-lint diag-lint build race minecheck
+check: vet fmt-check panic-lint diag-lint build race minecheck sweepcheck
 	@echo "all checks passed"

@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/pe"
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
+	"repro/internal/store"
 	"repro/internal/tech"
 )
 
@@ -666,4 +668,81 @@ func TestWriteBenchMine(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (speedup %.2fx)", *benchMineOut, out.SpeedupVsReference)
+}
+
+var benchSweepOut = flag.String("bench-sweep", "", "write the persistent-cache benchmark trajectory JSON (BENCH_sweep.json) to this path")
+
+// TestWriteBenchSweep measures the persistent result cache end to end
+// and writes the trajectory file `make bench-sweep` tracks across PRs:
+// the full fast-mode evaluation suite cold (empty cache, everything
+// mined, merged, and evaluated from scratch) versus warm (every
+// analysis, variant, and result deserialized from disk), plus the cache
+// footprint. The recorded speedup (cold ns / warm ns) is the ≥5x gate
+// for the sharded-sweep/persistent-store work; the warm run must also
+// render byte-identical tables. Skipped unless -bench-sweep is set.
+func TestWriteBenchSweep(t *testing.T) {
+	if *benchSweepOut == "" {
+		t.Skip("enable with -bench-sweep=<path>")
+	}
+	dir := t.TempDir()
+	runSuite := func() (time.Duration, string) {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := eval.NewHarness()
+		h.FastMode = true
+		h.SetStore(st)
+		start := time.Now()
+		tables, err := h.Suite(context.Background(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		var md string
+		for _, tb := range tables {
+			md += tb.Markdown() + "\n"
+		}
+		return elapsed, md
+	}
+	cold, coldMD := runSuite()
+	warm := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		d, md := runSuite()
+		if md != coldMD {
+			t.Fatal("warm suite is not byte-identical to the cold suite")
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes, entries := st.DiskBytes()
+	out := struct {
+		ColdNs      int64   `json:"cold_suite_ns"`
+		WarmNs      int64   `json:"warm_suite_ns"`
+		Speedup     float64 `json:"warm_speedup"`
+		DiskBytes   int64   `json:"cache_bytes_on_disk"`
+		DiskEntries int     `json:"cache_entries_on_disk"`
+	}{
+		ColdNs:      cold.Nanoseconds(),
+		WarmNs:      warm.Nanoseconds(),
+		Speedup:     float64(cold.Nanoseconds()) / float64(warm.Nanoseconds()),
+		DiskBytes:   bytes,
+		DiskEntries: entries,
+	}
+	if out.Speedup < 5 {
+		t.Errorf("warm-cache suite speedup = %.2fx, want >= 5x", out.Speedup)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchSweepOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (cold %v, warm %v, %.1fx)", *benchSweepOut, cold, warm, out.Speedup)
 }

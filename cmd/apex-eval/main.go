@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -64,6 +65,7 @@ func run(ctx context.Context) (int, error) {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "deadline for each evaluation cell (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line and the stderr cost summary")
+	cacheDir := flag.String("cache-dir", "", "persistent content-addressed result cache directory; warm runs reload analyses, variants, and results instead of recomputing ('' = in-memory only)")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -91,6 +93,13 @@ func run(ctx context.Context) (int, error) {
 	h.KeepGoing = *keepGoing
 	h.CellTimeout = *cellTimeout
 	h.SetObs(o)
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			return 1, err
+		}
+		h.SetStore(st)
+	}
 	if !*quiet && obs.IsTerminal(os.Stderr) {
 		h.Progress = obs.StartProgress(os.Stderr, 0)
 		defer h.Progress.Stop()
@@ -213,6 +222,13 @@ func run(ctx context.Context) (int, error) {
 			s := h.Report.MemoStats()[name]
 			fmt.Fprintf(os.Stderr, "  %-9s %d lookups: %d hits, %d coalesced, %d misses, %d panics\n",
 				name, s.Lookups(), s.Hits, s.Coalesced, s.Misses, s.Panics)
+		}
+		if st := h.Store(); st != nil {
+			s := st.Stats()
+			bytes, entries := st.DiskBytes()
+			fmt.Fprintf(os.Stderr, "persistent cache (%s):\n", st.Dir())
+			fmt.Fprintf(os.Stderr, "  %d hits, %d misses, %d corrupt recomputed, %d puts (%d failed), %d entries / %d bytes on disk\n",
+				s.Hits, s.Misses, s.Corrupt, s.Puts, s.PutErrs, entries, bytes)
 		}
 	}
 	if err := obsCleanup(); err != nil {

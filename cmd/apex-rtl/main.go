@@ -36,6 +36,7 @@ func run() error {
 	baseline := flag.Bool("baseline", false, "emit the baseline PE instead")
 	top := flag.Bool("top", false, "also emit the CGRA top module")
 	tb := flag.Bool("tb", false, "also emit a self-checking testbench for the largest rule")
+	j := flag.Int("j", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -47,6 +48,7 @@ func run() error {
 	ctx := o.Context(context.Background())
 
 	fw := core.New()
+	fw.MineWorkers = *j
 	var v *core.PEVariant
 	switch {
 	case *baseline:

@@ -7,6 +7,7 @@
 //	apex generate [-k N] <app>      generate a specialized PE (PE 1 + top N subgraphs)
 //	apex evaluate [-k N] <app>      full backend: map, pipeline, place, route, report
 //	apex simulate [-k N] <app>      ...and validate on the cycle-accurate fabric simulator
+//	apex sweep    [axis flags]      design-space sweep: sharded, resumable, cached
 //	apex compile  [-k N] <file>     compile a kernel written in the frontend language
 //
 // Flags come before the positional argument. Applications: camera,
@@ -80,13 +81,15 @@ func run(ctx context.Context, args []string) (int, error) {
 		return 0, compileKernel(ctx, rest)
 	case "simulate":
 		return simulate(ctx, rest)
+	case "sweep":
+		return sweepCmd(ctx, rest)
 	default:
 		return 1, usageErr()
 	}
 }
 
 func usageErr() error {
-	return errors.New("usage: apex {apps|analyze|generate|evaluate|simulate|compile} [args]")
+	return errors.New("usage: apex {apps|analyze|generate|evaluate|simulate|sweep|compile} [args]")
 }
 
 // withTimeout applies an optional wall-clock budget to ctx.
@@ -308,7 +311,7 @@ func analyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	top := fs.Int("top", 10, "number of patterns to print")
 	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
-	j := fs.Int("j", 1, "mining worker goroutines (output is identical at any count)")
+	j := fs.Int("j", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
 	var of obs.Flags
 	of.Register(fs)
 	app, err := appArg(fs, args)

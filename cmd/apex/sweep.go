@@ -1,0 +1,225 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// sweepCmd runs the design-space-exploration engine: a declarative grid
+// of (app, support, fabric, seed, k) axes expanded into cells, evaluated
+// on shard workers with work stealing, checkpointed atomically, and
+// reduced to the Pareto frontier over area, energy, and routability.
+//
+//	apex sweep -apps camera,harris -supports 0,4,8 -fabrics 32x16,16x8 \
+//	    -cache-dir .apexcache -checkpoint sweep.ckpt
+//
+// SIGINT stops the sweep after the in-flight cells and flushes the
+// checkpoint; rerunning with -resume completes the grid without
+// recomputing finished cells. The grid may also be given as JSON
+// (-grid file.json) with the same fields as the flags.
+func sweepCmd(ctx context.Context, args []string) (int, error) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	appsFlag := fs.String("apps", "", "comma-separated application names (default: the six analyzed apps)")
+	supports := fs.String("supports", "", "comma-separated mining support thresholds (0 = paper default rule)")
+	fabrics := fs.String("fabrics", "", "comma-separated fabric sizes as WxH (default 32x16)")
+	seeds := fs.String("seeds", "", "comma-separated placement seeds (default 1)")
+	ks := fs.String("ks", "", "comma-separated merged-subgraph counts (default 3)")
+	pnr := fs.Bool("pnr", false, "place and route every cell (default: post-mapping estimates)")
+	pipelined := fs.Bool("pipelined", true, "pipeline PEs and applications")
+	gridPath := fs.String("grid", "", "read the grid from this JSON file instead of the axis flags")
+	cacheDir := fs.String("cache-dir", "", "persistent content-addressed cache directory shared with apex-eval ('' = none)")
+	checkpoint := fs.String("checkpoint", "", "atomic progress snapshot path ('' = no checkpointing)")
+	resume := fs.Bool("resume", false, "resume from the checkpoint, skipping completed cells")
+	j := fs.Int("j", 0, "shard workers (0 = GOMAXPROCS, 1 = serial; results identical for any count)")
+	jsonPath := fs.String("json", "", "also write the full report as JSON to this file")
+	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	var of obs.Flags
+	of.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() != 0 {
+		return 1, errors.New("sweep takes no positional arguments; axes are flags or -grid JSON")
+	}
+	if *resume && *checkpoint == "" {
+		return 1, errors.New("-resume requires -checkpoint")
+	}
+	o, obsCleanup, err := of.Setup(os.Stderr)
+	if err != nil {
+		return 1, err
+	}
+	ctx = o.Context(ctx)
+	defer func() {
+		if err := obsCleanup(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	var g sweep.Grid
+	if *gridPath != "" {
+		data, err := os.ReadFile(*gridPath)
+		if err != nil {
+			return 1, err
+		}
+		if err := json.Unmarshal(data, &g); err != nil {
+			return 1, fmt.Errorf("parse grid %s: %w", *gridPath, err)
+		}
+	} else {
+		if *appsFlag != "" {
+			g.Apps = strings.Split(*appsFlag, ",")
+		}
+		if g.Supports, err = parseInts(*supports); err != nil {
+			return 1, fmt.Errorf("-supports: %w", err)
+		}
+		if g.Fabrics, err = parseFabrics(*fabrics); err != nil {
+			return 1, fmt.Errorf("-fabrics: %w", err)
+		}
+		if g.Seeds, err = parseInt64s(*seeds); err != nil {
+			return 1, fmt.Errorf("-seeds: %w", err)
+		}
+		if g.Ks, err = parseInts(*ks); err != nil {
+			return 1, fmt.Errorf("-ks: %w", err)
+		}
+		g.PnR = *pnr
+		g.Pipelined = *pipelined
+	}
+
+	opt := sweep.Options{
+		Workers:    *j,
+		CacheDir:   *cacheDir,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Obs:        o,
+	}
+	if !*quiet && obs.IsTerminal(os.Stderr) {
+		opt.Progress = obs.StartProgress(os.Stderr, 0)
+		defer opt.Progress.Stop()
+	}
+
+	rep, runErr := sweep.Run(ctx, g, opt)
+	opt.Progress.Stop()
+	if rep == nil {
+		return 1, runErr
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	printSweep(rep, runErr != nil)
+	if runErr != nil {
+		// Interrupted: the checkpoint holds the completed cells.
+		return 1, runErr
+	}
+	if rep.Failed > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// printSweep renders the report: every completed cell, frontier cells
+// marked, and a one-line summary.
+func printSweep(rep *sweep.Report, partial bool) {
+	onFrontier := map[int]bool{}
+	for _, i := range rep.Frontier {
+		onFrontier[i] = true
+	}
+	fmt.Printf("%-34s %8s %12s %12s %8s %7s  %s\n",
+		"cell", "PEs", "area um^2", "energy pJ", "route", "pareto", "status")
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		status := "ok"
+		switch {
+		case r.Err != "":
+			status = r.Err
+		case r.Degraded:
+			status = "degraded"
+		}
+		mark := ""
+		if onFrontier[r.Index] {
+			mark = "*"
+		}
+		fmt.Printf("%-34s %8d %12.0f %12.3f %8.1f %7s  %s\n",
+			r.Cell.String(), r.NumPEs, r.TotalArea, r.TotalEnergy, r.Routability, mark, status)
+	}
+	if partial {
+		done := rep.Resumed + rep.Computed - rep.Failed
+		fmt.Printf("\nsweep interrupted: %d/%d cells complete (resumed %d, computed %d); rerun with -resume\n",
+			done, len(rep.Results), rep.Resumed, rep.Computed)
+		return
+	}
+	fmt.Printf("\n%d cells (%d resumed, %d computed, %d failed, %d steals); %d on the Pareto frontier\n",
+		len(rep.Results), rep.Resumed, rep.Computed, rep.Failed, rep.Steals, len(rep.Frontier))
+	if rep.Store != nil {
+		fmt.Printf("persistent cache: %d hits, %d misses, %d corrupt recomputed, %d puts\n",
+			rep.Store.Hits, rep.Store.Misses, rep.Store.Corrupt, rep.Store.Puts)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFabrics(s string) ([][2]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out [][2]int
+	for _, p := range strings.Split(s, ",") {
+		w, h, ok := strings.Cut(strings.TrimSpace(p), "x")
+		if !ok {
+			return nil, fmt.Errorf("fabric %q: want WxH", p)
+		}
+		wi, err := strconv.Atoi(w)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := strconv.Atoi(h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{wi, hi})
+	}
+	return out, nil
+}

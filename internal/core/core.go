@@ -20,6 +20,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
@@ -57,10 +58,14 @@ type Framework struct {
 	// setting, the PnR retry ladder widens its own retry rungs.
 	PlaceSeeds int
 	// MineWorkers parallelizes frequent-subgraph mining inside Analyze
-	// (mining.Options.Workers). 0 or 1 mines serially; any value yields
-	// byte-identical analyses — mining is deterministic at every worker
-	// count.
+	// (mining.Options.Workers). 0 means runtime.GOMAXPROCS(0); 1 mines
+	// serially; any value yields byte-identical analyses — mining is
+	// deterministic at every worker count.
 	MineWorkers int
+	// MinSupport overrides the mined minimum MNI support threshold; 0
+	// keeps the paper's rule (ComputeOps/40, floored at 4). The sweep
+	// engine uses it as an exploration axis.
+	MinSupport int
 }
 
 // New returns a framework with the paper's defaults: calibrated tech
@@ -92,15 +97,12 @@ func (f *Framework) Analyze(ctx context.Context, app *apps.App) (*Analysis, erro
 	view, _ := mining.ComputeView(app.Graph)
 	vspan.End()
 
-	minSupport := app.ComputeOps() / 40
-	if minSupport < 4 {
-		minSupport = 4
-	}
+	minSupport := f.EffectiveMinSupport(app)
 	mctx, mspan := obs.StartSpan(ctx, "mine", obs.Int("min_support", minSupport))
 	pats, err := mining.Mine(mctx, view, mining.Options{
 		MinSupport: minSupport,
 		MaxNodes:   f.MaxPatternNodes,
-		Workers:    f.MineWorkers,
+		Workers:    f.mineWorkers(),
 	})
 	if err != nil {
 		mspan.End()
@@ -115,6 +117,30 @@ func (f *Framework) Analyze(ctx context.Context, app *apps.App) (*Analysis, erro
 	obs.Logger(ctx).Info("analyzed application",
 		"app", app.Name, "min_support", minSupport, "patterns", len(pats))
 	return &Analysis{View: view, Ranked: ranked}, nil
+}
+
+// EffectiveMinSupport resolves the mining support threshold for an
+// application: the explicit MinSupport override when set, otherwise the
+// paper's rule of one fortieth of the compute-op count, floored at 4.
+func (f *Framework) EffectiveMinSupport(app *apps.App) int {
+	if f.MinSupport > 0 {
+		return f.MinSupport
+	}
+	minSupport := app.ComputeOps() / 40
+	if minSupport < 4 {
+		minSupport = 4
+	}
+	return minSupport
+}
+
+// mineWorkers resolves MineWorkers: 0 means one goroutine per available
+// CPU (mining output is worker-count-invariant, so the default is the
+// parallel one; set 1 for a fully serial mine).
+func (f *Framework) mineWorkers() int {
+	if f.MineWorkers > 0 {
+		return f.MineWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PEVariant is one generated PE design together with its compiler.

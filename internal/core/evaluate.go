@@ -99,10 +99,18 @@ type Result struct {
 	// reports it per frame; see eval.Table2).
 	PerfPerMM2 float64
 
-	// Mapped and physical artifacts for further inspection.
+	// Mapped and physical artifacts for further inspection. They are not
+	// persisted by the result store: a cache-loaded Result carries every
+	// scalar above plus Routed/Degraded provenance, with these three nil.
 	Mapped   *rewrite.Mapped
 	Balanced *rewrite.Mapped
 	Routing  *cgra.Routing
+
+	// Routed reports that place-and-route completed (Routing was
+	// produced). It outlives the Routing pointer across the persistent
+	// cache, so table rendering can distinguish a routed result from a
+	// degraded estimate even when the artifact was not stored.
+	Routed bool
 
 	// Degraded is set when a PnR evaluation fell back to the analytical
 	// post-mapping estimate after the retry ladder was exhausted (routing
@@ -269,6 +277,7 @@ func (f *Framework) placeAndRoute(ctx context.Context, app *apps.App, v *PEVaria
 		routeSpan.End()
 		if err == nil {
 			r.Routing = routing
+			r.Routed = true
 			r.RoutingTiles = routing.RoutingOnlyTiles()
 			return nil
 		}

@@ -89,13 +89,23 @@ func (h *Harness) Ablations(ctx context.Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	mapped := rb.Mapped
+	if mapped == nil {
+		// A persistent-cache hit carries only the Result scalars, not the
+		// mapping artifact. Remapping is deterministic and cheap next to
+		// the mining/merging the cache saved.
+		mapped, err = rewrite.MapApp(apps.ResNet().Graph, base.Rules, apps.ResNet().Name+"@"+base.Name)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cutoffs := []int{1, 2, 4, 8}
 	reports := make([]pipeline.BalanceReport, len(cutoffs))
 	jobs := make([]func() error, len(cutoffs))
 	for i, cutoff := range cutoffs {
 		i, cutoff := i, cutoff
 		jobs[i] = func() error {
-			_, reports[i] = pipeline.BalanceApp(rb.Mapped, pipeline.AppOptions{PELatency: 2, FIFOCutoff: cutoff})
+			_, reports[i] = pipeline.BalanceApp(mapped, pipeline.AppOptions{PELatency: 2, FIFOCutoff: cutoff})
 			return nil
 		}
 	}

@@ -22,7 +22,7 @@ import (
 // analytical estimate.
 func pnrStatus(r *core.Result) string {
 	switch {
-	case r.Routing != nil:
+	case r.Routed:
 		return fmt.Sprintf("ok/%d", r.PnRAttempts)
 	case r.Degraded:
 		return fmt.Sprintf("est/%d", r.PnRAttempts)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/rewrite"
+	"repro/internal/store"
 )
 
 // Harness caches analyses, PE variants, and evaluation results across
@@ -72,6 +73,16 @@ type Harness struct {
 	analyses *memoTable[*core.Analysis]
 	variants *memoTable[*core.PEVariant]
 	results  *memoTable[*core.Result]
+
+	// store is the optional persistent content-addressed cache layered
+	// under the memo tables (SetStore); nil keeps the harness in-memory.
+	// The key fields memoize the app/registry fingerprints so hashing an
+	// app graph happens once per process, not once per lookup.
+	store        *store.Store
+	keyMu        sync.Mutex
+	appKeys      map[string]store.Key
+	registryOnce sync.Once
+	registry     store.Key
 }
 
 // NewHarness returns a harness with the paper's defaults.
@@ -128,7 +139,16 @@ func (h *Harness) Analysis(app *apps.App) *core.Analysis {
 	// buildCtx is uncancellable, so Analyze's only error — cancellation —
 	// cannot occur here.
 	a, _ := h.analyses.do(context.Background(), app.Name, func() (*core.Analysis, error) {
-		return h.FW.Analyze(h.buildCtx(), app)
+		if h.useStore() {
+			if a, ok := h.loadAnalysis(app); ok {
+				return a, nil
+			}
+		}
+		a, err := h.FW.Analyze(h.buildCtx(), app)
+		if err == nil && h.useStore() {
+			h.saveAnalysis(app, a)
+		}
+		return a, err
 	})
 	return a
 }
@@ -138,7 +158,16 @@ func (h *Harness) Analysis(app *apps.App) *core.Analysis {
 // no caller deadline — see buildCtx).
 func (h *Harness) Variant(name string, build func(ctx context.Context) (*core.PEVariant, error)) (*core.PEVariant, error) {
 	v, err := h.variants.do(context.Background(), name, func() (*core.PEVariant, error) {
-		return build(h.buildCtx())
+		if h.useStore() {
+			if v, ok := h.loadVariant(name); ok {
+				return v, nil
+			}
+		}
+		v, err := build(h.buildCtx())
+		if err == nil && h.useStore() {
+			h.saveVariant(v)
+		}
+		return v, err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("eval: variant %s: %w", name, err)
@@ -241,6 +270,11 @@ func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant
 	key := fmt.Sprintf("%s|%s|%v|%v", app.Name, v.Name, pnr, pipelined)
 	cell := app.Name + "|" + v.Name
 	r, err := h.results.do(ctx, key, func() (*core.Result, error) {
+		if h.useStore() {
+			if r, ok := h.loadResult(app, v, pnr, pipelined); ok {
+				return r, nil
+			}
+		}
 		// Re-attach the observability bundle over the caller's context:
 		// cancellation still flows from the caller, but the "evaluate"
 		// span re-roots at the run span, so the span tree does not depend
@@ -258,7 +292,11 @@ func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant
 			}
 			opt.Hook = func(stage string) error { return h.Faults.fire(stage, cell) }
 		}
-		return h.FW.Evaluate(cctx, app, v, opt)
+		r, err := h.FW.Evaluate(cctx, app, v, opt)
+		if err == nil && h.useStore() {
+			h.saveResult(app, v, pnr, pipelined, r)
+		}
+		return r, err
 	})
 	switch {
 	case err != nil:

@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// The persistent store must be invisible in the output: a warm run
+// deserializes everything it can, and the resulting tables are required
+// to be byte-identical to both the cold run that populated the cache and
+// a run with no store attached at all. Anything less — a float that
+// round-trips at lower precision, a slice that comes back in a different
+// order — would silently change published numbers.
+
+func storedHarness(t *testing.T, dir string) *Harness {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fastHarness()
+	h.SetStore(st)
+	return h
+}
+
+func suiteMarkdown(t *testing.T, h *Harness) string {
+	t.Helper()
+	tables, err := h.Suite(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestPersistWarmSuiteByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := suiteMarkdown(t, fastHarness())
+
+	cold := storedHarness(t, dir)
+	if got := suiteMarkdown(t, cold); got != plain {
+		t.Fatal("cold cached run differs from the store-free run")
+	}
+	if s := cold.Store().Stats(); s.Puts == 0 {
+		t.Fatalf("cold run wrote nothing to the store: %+v", s)
+	}
+
+	warm := storedHarness(t, dir)
+	if got := suiteMarkdown(t, warm); got != plain {
+		t.Fatal("warm cached run differs from the store-free run")
+	}
+	s := warm.Store().Stats()
+	if s.Misses != 0 || s.Hits == 0 {
+		t.Fatalf("warm run should hit on every lookup: %+v", s)
+	}
+	if s.Puts != 0 {
+		t.Fatalf("warm run recomputed and re-wrote entries: %+v", s)
+	}
+}
+
+// corruptEvery flips one payload byte in every cache entry under dir.
+func corruptEvery(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".apx") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)-1] ^= 0xFF
+		n++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no cache entries found to corrupt")
+	}
+	return n
+}
+
+func TestPersistCorruptEntriesRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	plain := suiteMarkdown(t, fastHarness())
+	suiteMarkdown(t, storedHarness(t, dir))
+
+	n := corruptEvery(t, dir)
+
+	h := storedHarness(t, dir)
+	if got := suiteMarkdown(t, h); got != plain {
+		t.Fatal("run over a fully corrupted cache differs from the store-free run")
+	}
+	s := h.Store().Stats()
+	if s.Corrupt == 0 {
+		t.Fatalf("corruption of %d entries went undetected: %+v", n, s)
+	}
+	if s.Hits != 0 {
+		t.Fatalf("a corrupted entry was served as a hit: %+v", s)
+	}
+	if s.Puts == 0 {
+		t.Fatalf("recomputed values were not written back: %+v", s)
+	}
+
+	// The rewritten cache must now serve a clean warm run.
+	warm := storedHarness(t, dir)
+	if got := suiteMarkdown(t, warm); got != plain {
+		t.Fatal("warm run after recovery differs from the store-free run")
+	}
+	if s := warm.Store().Stats(); s.Misses != 0 || s.Corrupt != 0 {
+		t.Fatalf("cache not fully healed after recovery: %+v", s)
+	}
+}
+
+func TestPersistBypassedUnderFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	h := storedHarness(t, dir)
+	h.Faults = &FaultPlan{} // empty plan: no faults fire, but injection is armed
+	if _, _, err := h.CameraLadder(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Store().Stats(); s != (store.Stats{}) {
+		t.Fatalf("store touched while fault injection was armed: %+v", s)
+	}
+	if _, entries := h.Store().DiskBytes(); entries != 0 {
+		t.Fatalf("store has %d entries after a faults-armed run", entries)
+	}
+}

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FileLock is an advisory, inter-process exclusive lock used by
+// multi-file protocols layered on the store (the sweep checkpoint:
+// read-merge-rewrite must not interleave between processes). Individual
+// cache entries never need it — they are immutable content-addressed
+// files installed by atomic rename.
+//
+// On unix the lock is flock(2) on a dedicated .lock file, so a killed
+// process can never leave the lock held (the kernel drops it with the
+// descriptor). Elsewhere a create-exclusive lock file with stale-lock
+// takeover approximates the same contract.
+type FileLock struct {
+	path string
+	f    *os.File
+}
+
+// LockFile acquires the exclusive lock at path (a .lock sibling of the
+// protected file), blocking until it is available.
+func LockFile(path string) (*FileLock, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	f, err := lockExclusive(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	return &FileLock{path: path, f: f}, nil
+}
+
+// Unlock releases the lock. Safe to call once on a nil receiver.
+func (l *FileLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := unlock(l.path, l.f)
+	l.f = nil
+	return err
+}
+
+// retryDelay paces lock acquisition on the fallback (non-flock) path.
+const retryDelay = 10 * time.Millisecond

@@ -1,0 +1,38 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// lockExclusive approximates flock with a create-exclusive lock file.
+// A lock older than staleLockAge is assumed abandoned (killed process)
+// and taken over.
+const staleLockAge = 5 * time.Minute
+
+func lockExclusive(path string) (*os.File, error) {
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if err == nil {
+			return f, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > staleLockAge {
+			os.Remove(path)
+			continue
+		}
+		time.Sleep(retryDelay)
+	}
+}
+
+func unlock(path string, f *os.File) error {
+	err := f.Close()
+	if rerr := os.Remove(path); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockExclusive opens (creating) the lock file and takes a blocking
+// exclusive flock on it. The kernel releases the lock when the
+// descriptor closes, including on process death.
+func lockExclusive(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func unlock(path string, f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Key derivation. A cached value may only be reused when everything it
+// was computed from is unchanged, so each key hashes the full provenance
+// cone of its value:
+//
+//	analysis  <- app graph encoding + mining options (support, size cap)
+//	variant   <- variant name + the analyzed-app registry (variants are
+//	             deterministic functions of analyses, which are functions
+//	             of app graphs) + front-end options
+//	result    <- app graph + the variant key + fabric config + placement
+//	             seed/portfolio options + evaluation level
+//
+// plus SchemaVersion (folded in by NewHasher), which stands in for the
+// algorithm revision of the pipeline itself. The registry hash is
+// deliberately conservative: a change to any application graph
+// invalidates every variant and result, trading a cold rebuild for the
+// guarantee that a composition change (domain PEs mix subgraphs from
+// several apps) can never be served stale.
+
+// AppHash fingerprints one application: its IR graph encoding plus the
+// roll-up parameters that flow into results.
+func AppHash(a *apps.App) Key {
+	e := &enc{}
+	encodeIRGraph(e, a.Graph)
+	h := NewHasher("app")
+	h.Str(a.Name)
+	h.Bytes(e.buf)
+	h.Int(a.Unroll)
+	h.Int(a.TotalOutputs)
+	return h.Key()
+}
+
+// RegistryHash fingerprints the whole application registry in sorted
+// name order — the conservative dependency cone of variant generation.
+func RegistryHash() Key {
+	all := apps.All()
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	h := NewHasher("registry")
+	for _, a := range all {
+		h.Str(string(AppHash(a)))
+	}
+	return h.Key()
+}
+
+// AnalysisKey keys a mined analysis: the app fingerprint plus the mining
+// options the framework would use for it.
+func AnalysisKey(appHash Key, fw *core.Framework) Key {
+	h := NewHasher("analysis")
+	h.Str(string(appHash))
+	h.Int(fw.MaxPatternNodes)
+	h.Int(fw.MinSupport)
+	return h.Key()
+}
+
+// VariantKey keys a generated PE variant by its name (unique per
+// composition), the registry hash, and the front-end options.
+func VariantKey(name string, registry Key, fw *core.Framework) Key {
+	h := NewHasher("variant")
+	h.Str(name)
+	h.Str(string(registry))
+	h.Int(fw.MaxPatternNodes)
+	h.Int(fw.MinSupport)
+	return h.Key()
+}
+
+// ResultKey keys one evaluation cell: the app and variant fingerprints,
+// the fabric configuration, the placement options, and the evaluation
+// level.
+func ResultKey(appHash, variantKey Key, fw *core.Framework, pnr, pipelined bool) Key {
+	h := NewHasher("result")
+	h.Str(string(appHash))
+	h.Str(string(variantKey))
+	f := fw.Fabric
+	h.Int(f.W)
+	h.Int(f.H)
+	h.Int(f.MemColumnStride)
+	h.Int(f.Tracks16)
+	h.Int(f.Tracks1)
+	h.Int(f.MaxRegsPerTile)
+	h.Int64(fw.PlaceSeed)
+	h.Int(fw.PlaceMoves)
+	h.Int(fw.PlaceSeeds)
+	h.Bool(pnr)
+	h.Bool(pipelined)
+	return h.Key()
+}

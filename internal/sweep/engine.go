@@ -1,0 +1,454 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/cgra"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Options configures one sweep run.
+type Options struct {
+	// Workers is the shard-worker count; 0 means GOMAXPROCS, 1 runs the
+	// whole sweep serially. Results are identical for every value.
+	Workers int
+	// CacheDir, when non-empty, opens (creating if needed) the persistent
+	// content-addressed store there: analyses, variants, and results
+	// computed by this sweep — or by any earlier run sharing the
+	// directory — are reused instead of recomputed.
+	CacheDir string
+	// Checkpoint, when non-empty, is the path of the atomic progress
+	// snapshot. An interrupted sweep rerun with Resume picks up there.
+	Checkpoint string
+	// Resume loads the checkpoint before running and skips completed
+	// cells. Without it an existing checkpoint is overwritten.
+	Resume bool
+	// FlushEvery is the number of completed cells between checkpoint
+	// flushes; 0 means 8. The final flush always happens.
+	FlushEvery int
+	// Obs is the run's observability bundle; nil disables instrumentation.
+	Obs *obs.Obs
+	// Progress, when non-nil, receives cell completion events.
+	Progress *obs.Progress
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) flushEvery() int {
+	if o.FlushEvery > 0 {
+		return o.FlushEvery
+	}
+	return 8
+}
+
+// Report is the outcome of a sweep run.
+type Report struct {
+	Grid        Grid   `json:"grid"`
+	Fingerprint string `json:"fingerprint"`
+	// Results holds every expanded cell in index order. Cells the run
+	// never reached (interrupted sweep) have zero Variant and Err
+	// "incomplete: canceled before evaluation".
+	Results []CellResult `json:"results"`
+	// Frontier indexes Results: the Pareto-optimal cells over
+	// (min area, min energy, max routability).
+	Frontier []int `json:"frontier"`
+	// Resumed counts cells loaded from the checkpoint; Computed counts
+	// cells evaluated by this run; Failed counts cells whose evaluation
+	// errored; Steals counts work-stealing transfers between shards.
+	Resumed  int `json:"resumed"`
+	Computed int `json:"computed"`
+	Failed   int `json:"failed"`
+	Steals   int `json:"steals"`
+	// Store carries the persistent-cache counters when a CacheDir was
+	// given.
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// shard is one worker's deque of pending cells. The owner pops from the
+// front; thieves pop from the back, so a steal takes the cell farthest
+// from the owner's current locality (cells are expanded grouped by
+// front-end build).
+type shard struct {
+	mu    sync.Mutex
+	cells []Cell
+}
+
+func (s *shard) popFront() (Cell, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cells) == 0 {
+		return Cell{}, false
+	}
+	c := s.cells[0]
+	s.cells = s.cells[1:]
+	return c, true
+}
+
+func (s *shard) popBack() (Cell, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cells) == 0 {
+		return Cell{}, false
+	}
+	c := s.cells[len(s.cells)-1]
+	s.cells = s.cells[:len(s.cells)-1]
+	return c, true
+}
+
+func (s *shard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// entry is a singleflight slot for a shared front-end build.
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// engine carries the shared state of one Run.
+type engine struct {
+	grid Grid
+	opt  Options
+	st   *store.Store
+
+	mu       sync.Mutex
+	analyses map[string]*entry[*core.Analysis]
+	variants map[string]*entry[*core.PEVariant]
+	appKeys  map[string]store.Key
+
+	registryOnce sync.Once
+	registry     store.Key
+}
+
+// Run expands the grid, evaluates every cell not already in the
+// checkpoint, and reduces to the Pareto frontier. Cell failures are
+// recorded in their CellResult and do not abort the sweep; cancellation
+// stops the run after the in-flight cells, flushes the checkpoint, and
+// returns the cancellation error alongside the partial report.
+func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.Normalized()
+	cells := g.Cells()
+	fp := g.Fingerprint()
+	rep := &Report{Grid: g, Fingerprint: string(fp), Results: make([]CellResult, len(cells))}
+
+	e := &engine{
+		grid:     g,
+		opt:      opt,
+		analyses: map[string]*entry[*core.Analysis]{},
+		variants: map[string]*entry[*core.PEVariant]{},
+		appKeys:  map[string]store.Key{},
+	}
+	if opt.CacheDir != "" {
+		st, err := store.Open(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.st = st
+	}
+
+	// Resume: preload completed cells from the checkpoint.
+	done := map[int]CellResult{}
+	if opt.Resume && opt.Checkpoint != "" {
+		var err error
+		done, err = loadCheckpoint(opt.Checkpoint, fp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var pending []Cell
+	for _, c := range cells {
+		if r, ok := done[c.Index]; ok {
+			rep.Results[c.Index] = r
+			rep.Resumed++
+			continue
+		}
+		rep.Results[c.Index] = CellResult{Cell: c, Err: "incomplete: canceled before evaluation"}
+		pending = append(pending, c)
+	}
+	e.count("sweep.cells_total", int64(len(cells)))
+	e.count("sweep.cells_resumed", int64(rep.Resumed))
+	opt.Progress.Add(len(pending))
+
+	// Shard the pending cells contiguously across the workers.
+	nw := opt.workers()
+	if nw > len(pending) {
+		nw = len(pending)
+	}
+	shards := make([]*shard, nw)
+	for i := range shards {
+		lo, hi := i*len(pending)/nw, (i+1)*len(pending)/nw
+		shards[i] = &shard{cells: pending[lo:hi:hi]}
+	}
+
+	// Collector: the single writer of rep and the checkpoint.
+	completed := make(chan CellResult, nw*2)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		dirty := map[int]CellResult{}
+		flush := func() {
+			if opt.Checkpoint == "" || len(dirty) == 0 {
+				return
+			}
+			if err := saveCheckpoint(opt.Checkpoint, fp, dirty); err != nil {
+				e.logger().Warn("checkpoint flush failed", "err", err.Error())
+				return
+			}
+			e.count("sweep.checkpoint_writes", 1)
+			dirty = map[int]CellResult{}
+		}
+		for r := range completed {
+			rep.Results[r.Index] = r
+			rep.Computed++
+			if r.Err != "" {
+				rep.Failed++
+				e.count("sweep.cells_failed", 1)
+			} else {
+				dirty[r.Index] = r
+				e.count("sweep.cells_done", 1)
+			}
+			if len(dirty) >= opt.flushEvery() {
+				flush()
+			}
+			opt.Progress.Done(1)
+		}
+		flush()
+	}()
+
+	var steals int64
+	var stealMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if fault.Canceled(ctx) != nil {
+					return
+				}
+				c, ok := shards[self].popFront()
+				if !ok {
+					// Steal from the richest shard's back.
+					richest, max := -1, 0
+					for j, s := range shards {
+						if j == self {
+							continue
+						}
+						if n := s.size(); n > max {
+							richest, max = j, n
+						}
+					}
+					if richest < 0 {
+						return
+					}
+					c, ok = shards[richest].popBack()
+					if !ok {
+						continue // lost the race; rescan
+					}
+					stealMu.Lock()
+					steals++
+					stealMu.Unlock()
+					e.count("sweep.steals", 1)
+				}
+				completed <- e.evalCell(ctx, c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(completed)
+	<-collectorDone
+	stealMu.Lock()
+	rep.Steals = int(steals)
+	stealMu.Unlock()
+
+	if e.st != nil {
+		s := e.st.Stats()
+		rep.Store = &s
+	}
+	if err := fault.Canceled(ctx); err != nil {
+		return rep, fmt.Errorf("sweep: interrupted (%d/%d cells done, checkpoint %q): %w",
+			rep.Resumed+rep.Computed-rep.Failed, len(cells), opt.Checkpoint, err)
+	}
+	rep.Frontier = Pareto(rep.Results)
+	return rep, nil
+}
+
+// count bumps an observability counter when a registry is attached.
+func (e *engine) count(name string, n int64) {
+	if e.opt.Obs != nil && e.opt.Obs.Metrics != nil {
+		e.opt.Obs.Metrics.Counter(name).Add(n)
+	}
+}
+
+func (e *engine) logger() interface {
+	Warn(msg string, args ...any)
+} {
+	if e.opt.Obs != nil && e.opt.Obs.Logger != nil {
+		return e.opt.Obs.Logger
+	}
+	return obs.Logger(context.Background())
+}
+
+// frameworkFor builds the per-cell framework: the paper defaults with
+// the cell's mining support, fabric size, and placement seed applied.
+// Frameworks are immutable after construction, so each cell gets its
+// own; the expensive state (tech model, fabric) is tiny.
+func (e *engine) frameworkFor(c Cell) *core.Framework {
+	fw := core.New()
+	fw.MinSupport = c.Support
+	fw.Fabric = cgra.NewFabric(c.FabricW, c.FabricH)
+	fw.PlaceSeed = c.Seed
+	// Shard workers already saturate the machine; keep each cell's miner
+	// serial (the miner's output is worker-count-invariant either way).
+	fw.MineWorkers = 1
+	return fw
+}
+
+// appKey memoizes the application fingerprint.
+func (e *engine) appKey(app *apps.App) store.Key {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k, ok := e.appKeys[app.Name]; ok {
+		return k
+	}
+	k := store.AppHash(app)
+	e.appKeys[app.Name] = k
+	return k
+}
+
+func (e *engine) registryKey() store.Key {
+	e.registryOnce.Do(func() { e.registry = store.RegistryHash() })
+	return e.registry
+}
+
+// analysis returns the mined analysis for (app, support), singleflighted
+// across cells and backed by the persistent store.
+func (e *engine) analysis(ctx context.Context, app *apps.App, fw *core.Framework) (*core.Analysis, error) {
+	key := fmt.Sprintf("%s|s%d", app.Name, fw.MinSupport)
+	e.mu.Lock()
+	ent, ok := e.analyses[key]
+	if !ok {
+		ent = &entry[*core.Analysis]{}
+		e.analyses[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		if e.st != nil {
+			sk := store.AnalysisKey(e.appKey(app), fw)
+			if payload, ok := e.st.Get(store.KindAnalysis, sk); ok {
+				if a, err := store.DecodeAnalysis(payload); err == nil {
+					ent.val = a
+					return
+				}
+			}
+		}
+		ent.val, ent.err = fw.Analyze(ctx, app)
+		if ent.err == nil && e.st != nil {
+			e.st.Put(store.KindAnalysis, store.AnalysisKey(e.appKey(app), fw), store.EncodeAnalysis(ent.val))
+		}
+	})
+	return ent.val, ent.err
+}
+
+// variant returns the cell's specialized PE, singleflighted across cells
+// sharing (app, support, k) and backed by the persistent store.
+func (e *engine) variant(ctx context.Context, c Cell, app *apps.App, fw *core.Framework) (*core.PEVariant, error) {
+	name := c.VariantName()
+	e.mu.Lock()
+	ent, ok := e.variants[name]
+	if !ok {
+		ent = &entry[*core.PEVariant]{}
+		e.variants[name] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		if e.st != nil {
+			sk := store.VariantKey(name, e.registryKey(), fw)
+			if payload, ok := e.st.Get(store.KindVariant, sk); ok {
+				if v, err := store.DecodeVariant(payload, fw.Tech); err == nil {
+					ent.val = v
+					return
+				}
+			}
+		}
+		a, err := e.analysis(ctx, app, fw)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.val, ent.err = fw.GeneratePE(ctx, name, app.UsedOps(), core.SelectPatterns(a, c.K))
+		if ent.err == nil && e.st != nil {
+			e.st.Put(store.KindVariant, store.VariantKey(name, e.registryKey(), fw), store.EncodeVariant(ent.val))
+		}
+	})
+	return ent.val, ent.err
+}
+
+// evalCell evaluates one grid point end to end.
+func (e *engine) evalCell(ctx context.Context, c Cell) CellResult {
+	res := CellResult{Cell: c, Variant: c.VariantName()}
+	app, err := apps.ByName(c.App)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	fw := e.frameworkFor(c)
+	v, err := e.variant(ctx, c, app, fw)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var r *core.Result
+	if e.st != nil {
+		rk := store.ResultKey(e.appKey(app), store.VariantKey(v.Name, e.registryKey(), fw), fw, e.grid.PnR, e.grid.Pipelined)
+		if payload, ok := e.st.Get(store.KindResult, rk); ok {
+			if cached, err := store.DecodeResult(payload); err == nil {
+				r = cached
+			}
+		}
+	}
+	if r == nil {
+		r, err = fw.Evaluate(ctx, app, v, core.EvalOptions{PnR: e.grid.PnR, Pipelined: e.grid.Pipelined})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if e.st != nil {
+			rk := store.ResultKey(e.appKey(app), store.VariantKey(v.Name, e.registryKey(), fw), fw, e.grid.PnR, e.grid.Pipelined)
+			e.st.Put(store.KindResult, rk, store.EncodeResult(r))
+		}
+	}
+	res.NumPEs = r.NumPEs
+	res.TotalArea = r.TotalArea
+	res.TotalEnergy = r.TotalEnergy
+	res.RuntimeMS = r.RuntimeMS
+	res.PerfPerMM2 = r.PerfPerMM2
+	res.Degraded = r.Degraded
+	switch {
+	case r.Routed:
+		res.Routability = 1
+	case r.Degraded:
+		res.Routability = 0
+	default:
+		res.Routability = 0.5 // analytical post-mapping estimate
+	}
+	return res
+}

@@ -1,0 +1,230 @@
+// Package sweep is the design-space-exploration engine over the APEX
+// pipeline: it expands a declarative grid of (application, mining
+// support, fabric size, placement seed, merged-subgraph count) axes into
+// independent evaluation cells, fans the cells across shard workers with
+// work stealing, checkpoints progress atomically so an interrupted sweep
+// resumes where it stopped, and reduces the completed cells to a Pareto
+// frontier over area, energy, and routability.
+//
+// Every cell is a pure function of the grid point (plus the frozen
+// application registry), so the engine composes with the persistent
+// content-addressed store: cells completed by an earlier run — or by a
+// plain apex-eval run sharing the same cache directory — are
+// deserialized instead of recomputed, and the checkpoint file makes
+// resumption exact even without a cache.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/store"
+)
+
+// Grid declares the sweep axes. Empty axes default to one paper-default
+// point, so a zero Grid with only Apps set sweeps nothing but the apps.
+type Grid struct {
+	// Apps are application names (apps.Names()); empty means the six
+	// analyzed applications.
+	Apps []string `json:"apps,omitempty"`
+	// Supports are minimum MNI support thresholds for mining; 0 keeps the
+	// paper's rule (ComputeOps/40 floored at 4). Empty means {0}.
+	Supports []int `json:"supports,omitempty"`
+	// Fabrics are {W,H} CGRA sizes. Empty means {{32,16}}.
+	Fabrics [][2]int `json:"fabrics,omitempty"`
+	// Seeds are placement seeds. Empty means {1}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Ks are merged-subgraph counts for the specialized PE (the paper's
+	// "PE Spec" uses 3). Empty means {3}.
+	Ks []int `json:"ks,omitempty"`
+	// PnR places and routes every cell; false stops at post-mapping.
+	PnR bool `json:"pnr"`
+	// Pipelined enables PE and application pipelining.
+	Pipelined bool `json:"pipelined"`
+}
+
+// Normalized returns a copy with every empty axis replaced by its
+// default point. Cell expansion and fingerprinting both operate on the
+// normalized grid, so "empty axis" and "explicit default" are the same
+// sweep.
+func (g Grid) Normalized() Grid {
+	if len(g.Apps) == 0 {
+		for _, a := range append(apps.AnalyzedIP(), apps.AnalyzedML()...) {
+			g.Apps = append(g.Apps, a.Name)
+		}
+	}
+	if len(g.Supports) == 0 {
+		g.Supports = []int{0}
+	}
+	if len(g.Fabrics) == 0 {
+		g.Fabrics = [][2]int{{32, 16}}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if len(g.Ks) == 0 {
+		g.Ks = []int{3}
+	}
+	return g
+}
+
+// Validate checks axis values against the registry and fabric limits.
+func (g Grid) Validate() error {
+	n := g.Normalized()
+	for _, name := range n.Apps {
+		if _, err := apps.ByName(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, s := range n.Supports {
+		if s < 0 {
+			return fmt.Errorf("sweep: negative support %d", s)
+		}
+	}
+	for _, f := range n.Fabrics {
+		if f[0] < 2 || f[1] < 2 {
+			return fmt.Errorf("sweep: fabric %dx%d too small (min 2x2)", f[0], f[1])
+		}
+	}
+	for _, k := range n.Ks {
+		if k < 0 {
+			return fmt.Errorf("sweep: negative subgraph count %d", k)
+		}
+	}
+	return nil
+}
+
+// Cell is one grid point. Index is its position in the deterministic
+// expansion order and is stable for a given grid — the checkpoint file
+// records finished cells by index.
+type Cell struct {
+	Index   int    `json:"index"`
+	App     string `json:"app"`
+	Support int    `json:"support"`
+	FabricW int    `json:"fabric_w"`
+	FabricH int    `json:"fabric_h"`
+	Seed    int64  `json:"seed"`
+	K       int    `json:"k"`
+}
+
+// VariantName names the PE variant a cell evaluates. It folds in every
+// axis the variant depends on (app, support, k) and none it does not
+// (fabric, seed), so cells differing only in backend axes share one
+// front-end build.
+func (c Cell) VariantName() string {
+	return fmt.Sprintf("swp_%s_s%d_k%d", c.App, c.Support, c.K)
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s s=%d %dx%d seed=%d k=%d", c.App, c.Support, c.FabricW, c.FabricH, c.Seed, c.K)
+}
+
+// Cells expands the normalized grid in fixed nested-loop order
+// (app, support, k, fabric, seed — slowest to fastest). The order groups
+// cells sharing a front-end build, so contiguous shards rarely contend
+// on the same analysis.
+func (g Grid) Cells() []Cell {
+	n := g.Normalized()
+	var cells []Cell
+	for _, app := range n.Apps {
+		for _, s := range n.Supports {
+			for _, k := range n.Ks {
+				for _, f := range n.Fabrics {
+					for _, seed := range n.Seeds {
+						cells = append(cells, Cell{
+							Index: len(cells), App: app, Support: s,
+							FabricW: f[0], FabricH: f[1], Seed: seed, K: k,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Fingerprint hashes the normalized grid plus the application-registry
+// fingerprint (and, through the hasher, the store schema version). A
+// checkpoint whose fingerprint differs is for a different sweep and is
+// ignored on resume.
+func (g Grid) Fingerprint() store.Key {
+	n := g.Normalized()
+	h := store.NewHasher("sweepgrid")
+	h.Str(string(store.RegistryHash()))
+	h.Ints(len(n.Apps))
+	for _, a := range n.Apps {
+		h.Str(a)
+	}
+	h.Ints(n.Supports...)
+	for _, f := range n.Fabrics {
+		h.Ints(f[0], f[1])
+	}
+	h.Ints(len(n.Seeds))
+	for _, s := range n.Seeds {
+		h.Int64(s)
+	}
+	h.Ints(n.Ks...)
+	h.Bool(g.PnR)
+	h.Bool(g.Pipelined)
+	return h.Key()
+}
+
+// CellResult is the reduced outcome of one cell: the metric roll-ups the
+// frontier is computed over, plus provenance. Err is set (and the
+// metrics zero) when the cell failed.
+type CellResult struct {
+	Cell
+	Variant     string  `json:"variant"`
+	NumPEs      int     `json:"num_pes"`
+	TotalArea   float64 `json:"total_area_um2"`
+	TotalEnergy float64 `json:"total_energy_pj"`
+	RuntimeMS   float64 `json:"runtime_ms"`
+	PerfPerMM2  float64 `json:"perf_per_mm2"`
+	// Routability grades how physically realizable the cell is: 1 routed,
+	// 0.5 analytical post-mapping estimate (PnR off), 0 degraded (PnR
+	// attempted and failed).
+	Routability float64 `json:"routability"`
+	Degraded    bool    `json:"degraded,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// Pareto returns the indices (into results) of the Pareto frontier:
+// cells not dominated on (minimize TotalArea, minimize TotalEnergy,
+// maximize Routability). Domination is scoped per application — cells
+// of different workloads trade off against different baselines, so a
+// small app's cheap design never shadows a large app's best design.
+// Failed cells never enter the frontier. Indices are sorted ascending,
+// so the frontier order is deterministic.
+func Pareto(results []CellResult) []int {
+	dominates := func(a, b *CellResult) bool {
+		if a.App != b.App {
+			return false
+		}
+		if a.TotalArea > b.TotalArea || a.TotalEnergy > b.TotalEnergy || a.Routability < b.Routability {
+			return false
+		}
+		return a.TotalArea < b.TotalArea || a.TotalEnergy < b.TotalEnergy || a.Routability > b.Routability
+	}
+	var frontier []int
+	for i := range results {
+		if results[i].Err != "" {
+			continue
+		}
+		dominated := false
+		for j := range results {
+			if j == i || results[j].Err != "" {
+				continue
+			}
+			if dominates(&results[j], &results[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, i)
+		}
+	}
+	sort.Ints(frontier)
+	return frontier
+}
