@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck fuzz golden faultcheck panic-lint diag-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck servecheck fuzz golden faultcheck panic-lint diag-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,16 @@ diag-lint:
 		echo "ad-hoc diagnostics in library code (use internal/obs logging/metrics):"; \
 		echo "$$bad"; exit 1; fi
 
+# The daemon gate (DESIGN.md §13): the full internal/serve suite under
+# the race detector — bounded-queue backpressure with Retry-After,
+# client-fair round-robin scheduling, the retry/backoff fault ladder,
+# and the churn-drain-restart byte-identical resume scenario — plus the
+# apex sweep exit-status subprocess contract the daemon's journal
+# semantics are modeled on.
+servecheck:
+	$(GO) test -race ./internal/serve/ -count=1
+	$(GO) test ./cmd/apex/ -count=1
+
 # The observability layer's own gate: the obs package race hammers, the
 # workers=1-vs-8 span/metric determinism suite, and the disabled-path
 # zero-allocation guards (DESIGN.md §9).
@@ -115,5 +125,5 @@ obscheck:
 	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1
 	$(GO) test . -run TestObsDisabledOverheadUnderTwoPercent -count=1
 
-check: vet fmt-check panic-lint diag-lint build race minecheck sweepcheck
+check: vet fmt-check panic-lint diag-lint build race minecheck sweepcheck faultcheck obscheck perfcheck servecheck
 	@echo "all checks passed"

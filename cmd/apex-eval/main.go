@@ -31,10 +31,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -59,16 +59,21 @@ func run(ctx context.Context) (int, error) {
 	fast := flag.Bool("fast", false, "skip place-and-route (post-mapping only)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. 'table2,fig13')")
 	jsonPath := flag.String("json", "", "also write all results as JSON to this file")
-	j := flag.Int("j", runtime.GOMAXPROCS(0), "parallel evaluation workers (1 = serial; output is identical either way)")
+	j := flag.Int("j", cliutil.DefaultWorkers(), "parallel evaluation workers (1 = serial; output is identical either way)")
 	seeds := flag.Int("seeds", 1, "placement seed portfolio width: anneal K seeds per placement, keep the lowest-wirelength result (1 = single seed; output is worker-count-invariant for any K)")
 	keepGoing := flag.Bool("keep-going", false, "report failed cells and continue instead of aborting")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "deadline for each evaluation cell (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line and the stderr cost summary")
 	cacheDir := flag.String("cache-dir", "", "persistent content-addressed result cache directory; warm runs reload analyses, variants, and results instead of recomputing ('' = in-memory only)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size budget; oldest entries pruned past it (0 = unbounded)")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
+	workers, err := cliutil.Workers("-j", *j)
+	if err != nil {
+		return 1, err
+	}
 
 	// apex-eval always measures itself: the tracer and registry exist even
 	// without export flags, so the per-stage cost summary can print.
@@ -87,8 +92,8 @@ func run(ctx context.Context) (int, error) {
 
 	h := eval.NewHarness()
 	h.FastMode = *fast
-	h.Workers = *j
-	h.FW.MineWorkers = *j
+	h.Workers = workers
+	h.FW.MineWorkers = workers
 	h.FW.PlaceSeeds = *seeds
 	h.KeepGoing = *keepGoing
 	h.CellTimeout = *cellTimeout
@@ -97,6 +102,9 @@ func run(ctx context.Context) (int, error) {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
 			return 1, err
+		}
+		if *cacheMax > 0 {
+			st.SetMaxBytes(*cacheMax)
 		}
 		h.SetStore(st)
 	}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rtl"
@@ -36,10 +37,14 @@ func run() error {
 	baseline := flag.Bool("baseline", false, "emit the baseline PE instead")
 	top := flag.Bool("top", false, "also emit the CGRA top module")
 	tb := flag.Bool("tb", false, "also emit a self-checking testbench for the largest rule")
-	j := flag.Int("j", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
+	j := flag.Int("j", cliutil.DefaultWorkers(), "mining worker goroutines (1 = serial; output is identical at any count)")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
+	workers, err := cliutil.Workers("-j", *j)
+	if err != nil {
+		return err
+	}
 
 	o, obsCleanup, err := of.Setup(os.Stderr)
 	if err != nil {
@@ -48,7 +53,7 @@ func run() error {
 	ctx := o.Context(context.Background())
 
 	fw := core.New()
-	fw.MineWorkers = *j
+	fw.MineWorkers = workers
 	var v *core.PEVariant
 	switch {
 	case *baseline:

@@ -31,12 +31,12 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
-	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/ir"
@@ -125,11 +125,15 @@ func simulate(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	k := fs.Int("k", 3, "subgraphs to merge into the PE")
 	vectors := fs.Int("vectors", 20, "random input vectors to check")
-	j := fs.Int("j", runtime.GOMAXPROCS(0), "parallel validation workers")
+	j := fs.Int("j", cliutil.DefaultWorkers(), "parallel validation workers")
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 	var of obs.Flags
 	of.Register(fs)
 	app, err := appArg(fs, args)
+	if err != nil {
+		return 1, err
+	}
+	workers, err := cliutil.Workers("-j", *j)
 	if err != nil {
 		return 1, err
 	}
@@ -185,10 +189,6 @@ func simulate(ctx context.Context, args []string) (int, error) {
 			c.evalIn[n.Name] = val
 		}
 		cases[vec] = c
-	}
-	workers := *j
-	if workers < 1 {
-		workers = 1
 	}
 	errs := make([]error, len(cases))
 	sem := make(chan struct{}, workers)
@@ -311,10 +311,14 @@ func analyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	top := fs.Int("top", 10, "number of patterns to print")
 	dot := fs.Bool("dot", false, "print the application dataflow graph in Graphviz DOT instead")
-	j := fs.Int("j", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
+	j := fs.Int("j", cliutil.DefaultWorkers(), "mining worker goroutines (1 = serial; output is identical at any count)")
 	var of obs.Flags
 	of.Register(fs)
 	app, err := appArg(fs, args)
+	if err != nil {
+		return err
+	}
+	workers, err := cliutil.Workers("-j", *j)
 	if err != nil {
 		return err
 	}
@@ -329,7 +333,7 @@ func analyze(ctx context.Context, args []string) error {
 		return nil
 	}
 	fw := core.New()
-	fw.MineWorkers = *j
+	fw.MineWorkers = workers
 	an, err := fw.Analyze(ctx, app)
 	if err != nil {
 		return err

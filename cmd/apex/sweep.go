@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -38,9 +39,11 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 	pipelined := fs.Bool("pipelined", true, "pipeline PEs and applications")
 	gridPath := fs.String("grid", "", "read the grid from this JSON file instead of the axis flags")
 	cacheDir := fs.String("cache-dir", "", "persistent content-addressed cache directory shared with apex-eval ('' = none)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "cache size budget; oldest entries pruned past it (0 = unbounded)")
 	checkpoint := fs.String("checkpoint", "", "atomic progress snapshot path ('' = no checkpointing)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint, skipping completed cells")
-	j := fs.Int("j", 0, "shard workers (0 = GOMAXPROCS, 1 = serial; results identical for any count)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "deadline for each cell's backend evaluation; an expired cell fails and the run exits 2 (0 = none)")
+	j := fs.Int("j", cliutil.DefaultWorkers(), "shard workers (1 = serial; results identical for any count)")
 	jsonPath := fs.String("json", "", "also write the full report as JSON to this file")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
 	var of obs.Flags
@@ -53,6 +56,10 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 	}
 	if *resume && *checkpoint == "" {
 		return 1, errors.New("-resume requires -checkpoint")
+	}
+	workers, err := cliutil.Workers("-j", *j)
+	if err != nil {
+		return 1, err
 	}
 	o, obsCleanup, err := of.Setup(os.Stderr)
 	if err != nil {
@@ -95,11 +102,13 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 	}
 
 	opt := sweep.Options{
-		Workers:    *j,
-		CacheDir:   *cacheDir,
-		Checkpoint: *checkpoint,
-		Resume:     *resume,
-		Obs:        o,
+		Workers:       workers,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Checkpoint:    *checkpoint,
+		Resume:        *resume,
+		CellTimeout:   *cellTimeout,
+		Obs:           o,
 	}
 	if !*quiet && obs.IsTerminal(os.Stderr) {
 		opt.Progress = obs.StartProgress(os.Stderr, 0)

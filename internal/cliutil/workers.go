@@ -1,0 +1,35 @@
+// Package cliutil holds the small helpers shared by every apex command
+// line (apex, apex-eval, apex-rtl, apexd) so user-facing contracts —
+// flag validation, usage errors — stay identical across binaries
+// instead of drifting per CLI.
+package cliutil
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MaxWorkers bounds how many workers a -j flag may ask for. The limit
+// is far above any sane machine; its job is to turn a typo (-j 1e9, a
+// negative overflowed shift) into a clean usage error instead of a
+// process that dies allocating goroutines.
+const MaxWorkers = 4096
+
+// Workers validates a worker-count flag. The flags default to
+// runtime.GOMAXPROCS(0), so any j <= 0 is an explicit user mistake and
+// is rejected with a usage error naming the flag, as is anything above
+// MaxWorkers. The returned count is j unchanged when valid.
+func Workers(flagName string, j int) (int, error) {
+	if j <= 0 {
+		return 0, fmt.Errorf("%s must be at least 1 (got %d); the default is the number of CPUs (%d)",
+			flagName, j, runtime.GOMAXPROCS(0))
+	}
+	if j > MaxWorkers {
+		return 0, fmt.Errorf("%s is absurdly large (got %d, max %d)", flagName, j, MaxWorkers)
+	}
+	return j, nil
+}
+
+// DefaultWorkers is the shared default for -j flags: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestWorkersValid(t *testing.T) {
+	for _, j := range []int{1, 2, runtime.GOMAXPROCS(0), MaxWorkers} {
+		got, err := Workers("-j", j)
+		if err != nil || got != j {
+			t.Errorf("Workers(-j, %d) = %d, %v; want %d, nil", j, got, err, j)
+		}
+	}
+}
+
+func TestWorkersRejected(t *testing.T) {
+	cases := []struct {
+		j    int
+		want string
+	}{
+		{0, "at least 1"},
+		{-1, "at least 1"},
+		{-999999, "at least 1"},
+		{MaxWorkers + 1, "absurdly large"},
+		{1 << 30, "absurdly large"},
+	}
+	for _, c := range cases {
+		_, err := Workers("-j", c.j)
+		if err == nil {
+			t.Errorf("Workers(-j, %d): want error, got nil", c.j)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Workers(-j, %d) error %q does not mention %q", c.j, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "-j") {
+			t.Errorf("Workers(-j, %d) error %q does not name the flag", c.j, err)
+		}
+	}
+}

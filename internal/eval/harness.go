@@ -110,6 +110,33 @@ func (h *Harness) SetObs(o *obs.Obs) {
 	h.results.instrument("results", reg)
 }
 
+// ResetMemos drops every in-memory memoized analysis, variant, and
+// result. A long-running process (the apexd daemon) calls it
+// periodically so the in-process tables cannot grow without bound; with
+// a persistent store attached the next lookups reload from disk, so the
+// cost is deserialization, not recomputation. Safe to call concurrently
+// with evaluations: in-flight builds complete against their detached
+// entries and their callers observe them normally.
+func (h *Harness) ResetMemos() {
+	h.analyses.reset()
+	h.variants.reset()
+	h.results.reset()
+}
+
+// ForgetResult drops one evaluation cell from the results memo so the
+// next Evaluate of the same cell runs (or reloads) fresh. The memo
+// deliberately caches errors — within one deterministic run a retry
+// cannot succeed — but a supervisor that re-enqueues failed jobs (with
+// new options, after transient injected faults, or after a timeout)
+// needs to invalidate the cached failure first. The arguments mirror
+// Evaluate's identity, including the FastMode pnr override.
+func (h *Harness) ForgetResult(appName, variantName string, pnr, pipelined bool) {
+	if h.FastMode {
+		pnr = false
+	}
+	h.results.forget(fmt.Sprintf("%s|%s|%v|%v", appName, variantName, pnr, pipelined))
+}
+
 // MemoStats snapshots the cache-effectiveness counters of the three
 // memo tables, keyed by table name.
 func (h *Harness) MemoStats() map[string]MemoStats {

@@ -87,6 +87,27 @@ func (t *memoTable[V]) Stats() MemoStats {
 	}
 }
 
+// forget drops one key from the table. A build currently in flight for
+// the key is unaffected — its waiters still observe its outcome through
+// the entry they already hold — but the next do of the key runs a fresh
+// build. This is the retry hook for callers (the apexd executor) whose
+// policy says a failure IS worth retrying, which the cache-the-error
+// default deliberately does not.
+func (t *memoTable[V]) forget(key string) {
+	t.mu.Lock()
+	delete(t.entries, key)
+	t.mu.Unlock()
+}
+
+// reset drops every entry (counters are kept — they describe the
+// process lifetime, not the current generation). In-flight builds
+// complete against their detached entries exactly as in forget.
+func (t *memoTable[V]) reset() {
+	t.mu.Lock()
+	t.entries = map[string]*memoEntry[V]{}
+	t.mu.Unlock()
+}
+
 // do returns the memoized value for key, running build at most once per
 // key across all goroutines. A caller waiting on another goroutine's
 // in-flight build stops waiting when ctx is canceled (the build itself

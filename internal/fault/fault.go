@@ -112,6 +112,65 @@ func AsPanic(where string, recovered any) error {
 	return &tagged{sentinel: ErrInvariant, msg: fmt.Sprintf("%s: panic: %v", where, recovered)}
 }
 
+// Class partitions the taxonomy by the caller's recovery policy. It is
+// what a long-running caller (the apexd job executor, a sweep shard)
+// switches on to decide between re-enqueueing with backoff, accepting a
+// degraded result, and declaring the work terminally failed.
+type Class int
+
+const (
+	// ClassFatal: invariant violations, injected faults without a more
+	// specific classification, and unclassified errors. Retrying cannot
+	// help and there is no estimate to fall back to.
+	ClassFatal Class = iota
+	// ClassRetryable: the solver ran out of budget (ErrNonConvergence).
+	// A retry with a different seed or a larger budget may succeed.
+	ClassRetryable
+	// ClassDegradable: the design structurally exceeds a resource bound
+	// (ErrCapacity). Retrying cannot help, but an analytical estimate
+	// can stand in for the exact answer.
+	ClassDegradable
+	// ClassCanceled: the surrounding context was canceled or timed out.
+	// The caller decides whether that means "shutting down" (requeue)
+	// or "took too long" (retry or fail) — see Classify's doc.
+	ClassCanceled
+)
+
+// String names the class for reports and job records.
+func (c Class) String() string {
+	switch c {
+	case ClassRetryable:
+		return "retryable"
+	case ClassDegradable:
+		return "degradable"
+	case ClassCanceled:
+		return "canceled"
+	default:
+		return "fatal"
+	}
+}
+
+// Classify maps an error onto the recovery-policy classes. A nil error
+// classifies as ClassFatal — callers must not classify success.
+//
+// Note that ClassCanceled covers both "the process is shutting down"
+// and "this one computation hit its own deadline"; callers that need
+// the distinction should additionally check their own context's state
+// (parent canceled → shutdown) or errors.Is(err,
+// context.DeadlineExceeded) on the cause chain.
+func Classify(err error) Class {
+	switch {
+	case errors.Is(err, ErrCanceled):
+		return ClassCanceled
+	case errors.Is(err, ErrNonConvergence):
+		return ClassRetryable
+	case errors.Is(err, ErrCapacity):
+		return ClassDegradable
+	default:
+		return ClassFatal
+	}
+}
+
 // Guard runs fn and converts a panic into a typed error, so one
 // poisoned computation surfaces as a per-call failure instead of
 // killing the process (or a worker pool). The boundary is named in the

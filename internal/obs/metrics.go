@@ -43,11 +43,17 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value reads the counter.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a last-value (Set) or high-watermark (Max) instrument.
+// Gauge is a last-value (Set), delta (Add), or high-watermark (Max)
+// instrument.
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrement) and returns the
+// new value — the shape a live occupancy gauge (queue depth, running
+// jobs) wants.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
 
 // Max raises the gauge to n if n is larger (a high-watermark update).
 func (g *Gauge) Max(n int64) {

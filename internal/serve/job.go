@@ -1,0 +1,176 @@
+// Package serve is the APEX evaluation daemon: a stdlib-only net/http
+// JSON API over an asynchronous job queue running on the shared
+// eval.Harness, with the persistent content-addressed store slotted in
+// as the cross-request cache.
+//
+// The robustness layer is the point of the package:
+//
+//   - a bounded job queue with backpressure (429 + Retry-After when
+//     full) and round-robin fairness across clients;
+//   - per-client token-bucket rate limiting (429 + Retry-After when a
+//     client submits faster than its budget);
+//   - per-job timeout, retry with jittered exponential backoff, and a
+//     retry budget, mapped onto the internal/fault taxonomy
+//     (retryable → re-enqueue, degradable → degraded result with
+//     Reason, fatal → terminal error state);
+//   - a crash-safe job journal (flock-guarded atomic JSON): a killed
+//     daemon restarts, resumes journaled pending jobs, and — through
+//     the content-addressed store — reproduces byte-identical results;
+//   - graceful drain on shutdown: stop accepting, finish or journal
+//     in-flight jobs under a drain deadline, then exit.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Kind names what a job computes.
+type Kind string
+
+const (
+	// KindAnalyze mines an application and returns its ranked frequent
+	// subgraphs.
+	KindAnalyze Kind = "analyze"
+	// KindGenerate builds a specialized PE (app-restricted baseline plus
+	// the top K subgraphs) and returns its summary.
+	KindGenerate Kind = "generate"
+	// KindEvaluate runs the backend for (app, specialized PE) and
+	// returns the metric roll-ups.
+	KindEvaluate Kind = "evaluate"
+	// KindSweep runs a declarative design-space sweep grid.
+	KindSweep Kind = "sweep"
+	// KindCompile submits a custom application: kernel source in the
+	// frontend language, compiled, mined, and post-mapping evaluated.
+	KindCompile Kind = "compile"
+)
+
+// State is a job's lifecycle position.
+//
+//	queued ──▶ running ──▶ done
+//	  ▲            │  └───▶ failed / canceled
+//	  └────────────┘ (retryable failure, drain requeue)
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Params are the submit-time inputs of a job. Exactly the fields the
+// job's Kind needs are honored; the rest are ignored.
+type Params struct {
+	// App names a registry application (analyze, generate, evaluate).
+	App string `json:"app,omitempty"`
+	// K is the number of mined subgraphs merged into the specialized PE
+	// (generate, evaluate, compile); 0 evaluates the baseline PE.
+	K int `json:"k,omitempty"`
+	// Top bounds how many ranked patterns an analyze job returns
+	// (default 10).
+	Top int `json:"top,omitempty"`
+	// PnR places and routes (evaluate); ignored when the daemon runs in
+	// fast mode.
+	PnR bool `json:"pnr,omitempty"`
+	// Pipelined enables PE and application pipelining (evaluate).
+	Pipelined bool `json:"pipelined,omitempty"`
+	// Grid is the sweep grid (sweep).
+	Grid *sweep.Grid `json:"grid,omitempty"`
+	// Source is kernel source text in the frontend language (compile).
+	Source string `json:"source,omitempty"`
+}
+
+// Validate checks the params against kind, normalizing defaults.
+func (p *Params) Validate(kind Kind) error {
+	switch kind {
+	case KindAnalyze:
+		if p.App == "" {
+			return fmt.Errorf("analyze: missing app")
+		}
+		if p.Top <= 0 {
+			p.Top = 10
+		}
+	case KindGenerate, KindEvaluate:
+		if p.App == "" {
+			return fmt.Errorf("%s: missing app", kind)
+		}
+		if p.K < 0 || p.K > 64 {
+			return fmt.Errorf("%s: k must be in [0, 64], got %d", kind, p.K)
+		}
+	case KindSweep:
+		if p.Grid == nil {
+			return fmt.Errorf("sweep: missing grid")
+		}
+		if err := p.Grid.Validate(); err != nil {
+			return err
+		}
+	case KindCompile:
+		if p.Source == "" {
+			return fmt.Errorf("compile: missing source")
+		}
+		if len(p.Source) > 1<<20 {
+			return fmt.Errorf("compile: source too large (%d bytes, max 1 MiB)", len(p.Source))
+		}
+		if p.K < 0 || p.K > 64 {
+			return fmt.Errorf("compile: k must be in [0, 64], got %d", p.K)
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want analyze, generate, evaluate, sweep, or compile)", kind)
+	}
+	return nil
+}
+
+// Job is one unit of daemon work. The struct is both the API
+// representation (JSON) and the journal record; Seq orders journal
+// merges (higher Seq wins), so a crash between two flushes can only
+// lose recency, never invent state.
+type Job struct {
+	ID     string `json:"id"`
+	Seq    int64  `json:"seq"`
+	Client string `json:"client"`
+	Kind   Kind   `json:"kind"`
+	Params Params `json:"params"`
+
+	State    State `json:"state"`
+	Attempts int   `json:"attempts"`
+	// Error and ErrorKind describe the terminal failure (or the most
+	// recent retryable one while the job waits for its backoff).
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Result is the job's output document once State is done.
+	Result json.RawMessage `json:"result,omitempty"`
+
+	// NotBefore delays a retried job's next attempt (backoff).
+	NotBefore time.Time `json:"not_before,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// clone returns a deep-enough copy for API responses: the caller may
+// not mutate shared state through it.
+func (j *Job) clone() *Job {
+	c := *j
+	if j.Result != nil {
+		c.Result = append(json.RawMessage(nil), j.Result...)
+	}
+	return &c
+}
+
+// summary is the list-endpoint projection: everything but the result
+// payload (which can be large and has its own endpoint).
+func (j *Job) summary() *Job {
+	c := *j
+	c.Result = nil
+	return &c
+}

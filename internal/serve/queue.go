@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// queue is the bounded, client-fair job queue. Jobs are held in
+// per-client FIFOs; workers pop round-robin across clients, so one
+// client flooding the queue cannot starve the others — it only ever
+// holds one "turn" per rotation. The total population is bounded by
+// depth; a push over the bound fails (the HTTP layer turns that into
+// 429 + Retry-After backpressure).
+//
+// A job whose NotBefore lies in the future (retry backoff) stays
+// invisible to pop until the time arrives; a timer broadcast wakes the
+// workers when the earliest such job becomes ready, so waiting burns no
+// CPU.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	now    func() time.Time
+	closed bool
+
+	perClient map[string][]*Job
+	// clients is the round-robin rotation: clients with at least one
+	// queued job, in first-seen order. rr is the rotation cursor.
+	clients []string
+	rr      int
+	size    int
+
+	// wake fires cond.Broadcast when the earliest NotBefore arrives.
+	wake *time.Timer
+}
+
+func newQueue(depth int, now func() time.Time) *queue {
+	q := &queue{depth: depth, now: now, perClient: map[string][]*Job{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// full is returned by push when the queue is at depth.
+type errFull struct{}
+
+func (errFull) Error() string { return "job queue full" }
+
+// errClosed is returned by push once the queue stopped accepting.
+type errClosed struct{}
+
+func (errClosed) Error() string { return "queue draining" }
+
+// push enqueues a job for its client. force bypasses the depth bound —
+// used for retry re-enqueues, which must never lose an already-accepted
+// job to backpressure meant for new work.
+func (q *queue) push(j *Job, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed{}
+	}
+	if !force && q.size >= q.depth {
+		return errFull{}
+	}
+	if _, ok := q.perClient[j.Client]; !ok {
+		q.clients = append(q.clients, j.Client)
+	}
+	q.perClient[j.Client] = append(q.perClient[j.Client], j)
+	q.size++
+	q.armWakeLocked(j.NotBefore)
+	q.cond.Broadcast()
+	return nil
+}
+
+// armWakeLocked schedules a broadcast for a future NotBefore.
+func (q *queue) armWakeLocked(t time.Time) {
+	if t.IsZero() {
+		return
+	}
+	d := t.Sub(q.now())
+	if d <= 0 {
+		return
+	}
+	// One coarse timer is enough: a spurious broadcast just makes the
+	// workers rescan and sleep again.
+	if q.wake != nil {
+		q.wake.Stop()
+	}
+	q.wake = time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+}
+
+// pop blocks until a ready job is available and returns it, honoring
+// round-robin fairness across clients. It returns nil once the queue is
+// closed — jobs still enqueued at close time stay where they are (the
+// drain path journals them as pending).
+func (q *queue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil
+		}
+		if j := q.takeLocked(); j != nil {
+			return j
+		}
+		// Nothing ready. If some job is merely deferred, arm the timer
+		// so the earliest NotBefore wakes us.
+		if t := q.earliestDeferredLocked(); !t.IsZero() {
+			q.armWakeLocked(t)
+		}
+		q.cond.Wait()
+	}
+}
+
+// takeLocked pops the next ready job in round-robin client order.
+func (q *queue) takeLocked() *Job {
+	now := q.now()
+	for scanned := 0; scanned < len(q.clients); scanned++ {
+		ci := (q.rr + scanned) % len(q.clients)
+		client := q.clients[ci]
+		fifo := q.perClient[client]
+		for i, j := range fifo {
+			if j.NotBefore.After(now) {
+				continue
+			}
+			q.perClient[client] = append(fifo[:i:i], fifo[i+1:]...)
+			q.size--
+			if len(q.perClient[client]) == 0 {
+				delete(q.perClient, client)
+				q.clients = append(q.clients[:ci:ci], q.clients[ci+1:]...)
+				// The rotation continues from the slot that replaced ci.
+				if q.rr > ci {
+					q.rr--
+				}
+				if len(q.clients) > 0 {
+					q.rr %= len(q.clients)
+				} else {
+					q.rr = 0
+				}
+			} else {
+				q.rr = (ci + 1) % len(q.clients)
+			}
+			return j
+		}
+	}
+	return nil
+}
+
+// earliestDeferredLocked returns the soonest NotBefore among queued
+// jobs, or the zero time when none are deferred.
+func (q *queue) earliestDeferredLocked() time.Time {
+	var earliest time.Time
+	for _, fifo := range q.perClient {
+		for _, j := range fifo {
+			if j.NotBefore.IsZero() {
+				continue
+			}
+			if earliest.IsZero() || j.NotBefore.Before(earliest) {
+				earliest = j.NotBefore
+			}
+		}
+	}
+	return earliest
+}
+
+// remove deletes a queued job by ID (cancellation). It reports whether
+// the job was found.
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for ci, client := range q.clients {
+		fifo := q.perClient[client]
+		for i, j := range fifo {
+			if j.ID != id {
+				continue
+			}
+			q.perClient[client] = append(fifo[:i:i], fifo[i+1:]...)
+			q.size--
+			if len(q.perClient[client]) == 0 {
+				delete(q.perClient, client)
+				q.clients = append(q.clients[:ci:ci], q.clients[ci+1:]...)
+				if q.rr > ci {
+					q.rr--
+				}
+				if len(q.clients) > 0 {
+					q.rr %= len(q.clients)
+				} else {
+					q.rr = 0
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// close stops the queue: pushes fail with errClosed and blocked pops
+// return nil. Jobs still enqueued remain untouched for the drain path
+// to journal.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	if q.wake != nil {
+		q.wake.Stop()
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// len returns the queued population.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// pending snapshots the queued jobs (drain journals them).
+func (q *queue) pending() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*Job
+	for _, client := range q.clients {
+		out = append(out, q.perClient[client]...)
+	}
+	return out
+}

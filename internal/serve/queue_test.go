@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mkJob(id, client string) *Job {
+	return &Job{ID: id, Client: client, State: StateQueued}
+}
+
+func TestQueueBoundsAndForce(t *testing.T) {
+	q := newQueue(2, time.Now)
+	if err := q.push(mkJob("a", "c1"), false); err != nil {
+		t.Fatalf("push a: %v", err)
+	}
+	if err := q.push(mkJob("b", "c1"), false); err != nil {
+		t.Fatalf("push b: %v", err)
+	}
+	err := q.push(mkJob("c", "c1"), false)
+	if !errors.As(err, &errFull{}) {
+		t.Fatalf("push over depth = %v, want errFull", err)
+	}
+	// force bypasses the bound: retries of accepted jobs must never be
+	// dropped by backpressure meant for new work.
+	if err := q.push(mkJob("c", "c1"), true); err != nil {
+		t.Fatalf("forced push: %v", err)
+	}
+	if got := q.len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	q.close()
+	if err := q.push(mkJob("d", "c1"), false); !errors.As(err, &errClosed{}) {
+		t.Fatalf("push after close = %v, want errClosed", err)
+	}
+	if j := q.pop(); j != nil {
+		t.Fatalf("pop after close = %v, want nil", j)
+	}
+	// Jobs enqueued at close time stay for the drain path to journal.
+	if got := len(q.pending()); got != 3 {
+		t.Fatalf("pending after close = %d, want 3", got)
+	}
+}
+
+func TestQueueRoundRobinFairness(t *testing.T) {
+	q := newQueue(16, time.Now)
+	// Client a floods; client b sends two. Pops must alternate while b
+	// has work: a, b, a, b, a, a.
+	for _, id := range []string{"a1", "a2", "a3", "a4"} {
+		q.push(mkJob(id, "a"), false)
+	}
+	q.push(mkJob("b1", "b"), false)
+	q.push(mkJob("b2", "b"), false)
+
+	var got []string
+	for i := 0; i < 6; i++ {
+		got = append(got, q.pop().ID)
+	}
+	want := []string{"a1", "b1", "a2", "b2", "a3", "a4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueNotBeforeDefersJob(t *testing.T) {
+	q := newQueue(16, time.Now)
+	deferred := mkJob("later", "c")
+	deferred.NotBefore = time.Now().Add(60 * time.Millisecond)
+	q.push(deferred, false)
+	q.push(mkJob("now", "c"), false)
+
+	// The ready job pops first even though it was pushed second.
+	if j := q.pop(); j.ID != "now" {
+		t.Fatalf("first pop = %s, want now", j.ID)
+	}
+	start := time.Now()
+	j := q.pop() // blocks until NotBefore arrives via the wake timer
+	if j.ID != "later" {
+		t.Fatalf("second pop = %s, want later", j.ID)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("deferred job popped after %v, want >= ~40ms wait", waited)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(16, time.Now)
+	q.push(mkJob("a", "c"), false)
+	q.push(mkJob("b", "c"), false)
+	if !q.remove("a") {
+		t.Fatal("remove a = false, want true")
+	}
+	if q.remove("a") {
+		t.Fatal("second remove a = true, want false")
+	}
+	if j := q.pop(); j.ID != "b" {
+		t.Fatalf("pop = %s, want b", j.ID)
+	}
+	if got := q.len(); got != 0 {
+		t.Fatalf("len = %d, want 0", got)
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each client owns a
+// bucket of capacity burst refilled at rate tokens per second; a submit
+// costs one token. An empty bucket rejects with the exact wait until
+// the next token — the HTTP layer forwards it as Retry-After, so a
+// well-behaved client backs off by precisely the deficit instead of
+// guessing.
+//
+// rate <= 0 disables limiting entirely (every Allow succeeds).
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client map so a scan of spoofed client
+// names cannot grow it without limit; full buckets (idle clients) are
+// dropped first when the bound is hit.
+const maxBuckets = 16384
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, now: now, buckets: map[string]*bucket{}}
+}
+
+// allow takes one token from client's bucket. When the bucket is empty
+// it returns ok=false and the wait until one token will be available.
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictIdleLocked drops buckets that have fully refilled — clients idle
+// long enough that forgetting them is indistinguishable from keeping
+// them.
+func (l *rateLimiter) evictIdleLocked(now time.Time) {
+	for client, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, client)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source for limiter tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 2, clk.now) // 1 token/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("alice"); !ok {
+			t.Fatalf("burst submit %d denied", i)
+		}
+	}
+	ok, wait := l.allow("alice")
+	if ok {
+		t.Fatal("third immediate submit allowed, want denied")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s]", wait)
+	}
+
+	// Waiting exactly the advertised hint earns exactly one token.
+	clk.advance(wait)
+	if ok, _ := l.allow("alice"); !ok {
+		t.Fatal("submit after advertised wait denied")
+	}
+	if ok, _ := l.allow("alice"); ok {
+		t.Fatal("extra submit allowed without waiting")
+	}
+}
+
+func TestRateLimiterPerClientIsolation(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.now)
+	if ok, _ := l.allow("alice"); !ok {
+		t.Fatal("alice first submit denied")
+	}
+	if ok, _ := l.allow("alice"); ok {
+		t.Fatal("alice second submit allowed")
+	}
+	// A different client has its own untouched bucket.
+	if ok, _ := l.allow("bob"); !ok {
+		t.Fatal("bob first submit denied")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := newRateLimiter(0, 1, time.Now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("anyone"); !ok {
+			t.Fatal("disabled limiter denied a submit")
+		}
+	}
+}

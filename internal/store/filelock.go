@@ -35,6 +35,24 @@ func LockFile(path string) (*FileLock, error) {
 	return &FileLock{path: path, f: f}, nil
 }
 
+// TryLockFile acquires the exclusive lock at path without blocking. It
+// returns (nil, false, nil) when another process (or goroutine) holds
+// the lock — the caller skips its turn rather than queueing, which is
+// what best-effort maintenance work (cache pruning) wants.
+func TryLockFile(path string) (*FileLock, bool, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, false, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	f, ok, err := tryLockExclusive(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return &FileLock{path: path, f: f}, true, nil
+}
+
 // Unlock releases the lock. Safe to call once on a nil receiver.
 func (l *FileLock) Unlock() error {
 	if l == nil || l.f == nil {

@@ -29,6 +29,26 @@ func lockExclusive(path string) (*os.File, error) {
 	}
 }
 
+// tryLockExclusive makes a single create-exclusive attempt (after the
+// usual stale-lock takeover): ok=false when someone else holds a fresh
+// lock.
+func tryLockExclusive(path string) (*os.File, bool, error) {
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if err == nil {
+			return f, true, nil
+		}
+		if !os.IsExist(err) {
+			return nil, false, err
+		}
+		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > staleLockAge {
+			os.Remove(path)
+			continue
+		}
+		return nil, false, nil
+	}
+}
+
 func unlock(path string, f *os.File) error {
 	err := f.Close()
 	if rerr := os.Remove(path); err == nil {

@@ -22,6 +22,23 @@ func lockExclusive(path string) (*os.File, error) {
 	return f, nil
 }
 
+// tryLockExclusive is lockExclusive with LOCK_NB: ok=false (no error)
+// when the lock is currently held elsewhere.
+func tryLockExclusive(path string) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return f, true, nil
+}
+
 func unlock(path string, f *os.File) error {
 	err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 	if cerr := f.Close(); err == nil {

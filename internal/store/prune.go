@@ -1,0 +1,134 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Size budget. A long-lived process (the apexd daemon) writes cache
+// entries forever; SetMaxBytes bounds the directory so it cannot grow
+// without limit. Enforcement is oldest-first eviction: entries are
+// immutable content-addressed files, so "least recently written" is the
+// entry least likely to be re-derived from the current pipeline, and
+// removing one is crash-safe by construction — os.Remove of a sealed
+// entry is atomic, a reader holding the file open keeps its bytes (on
+// unix), and a reader arriving later simply misses and recomputes
+// through the existing recompute path.
+//
+// The prune pass itself is guarded by a non-blocking file lock
+// (prune.lock) so concurrent processes sharing one cache directory
+// never stampede on the same walk; a process that finds the lock held
+// skips its turn — the holder is already shrinking the directory.
+
+// pruneSlack is how far under the budget a prune pass shrinks the
+// directory (evict to 90% of max), so a daemon writing steadily does
+// not re-walk the tree on every put once it reaches the budget.
+const pruneSlackNum, pruneSlackDen = 9, 10
+
+// SetMaxBytes installs a size budget for the store directory; n <= 0
+// removes the budget (the default). The current on-disk footprint is
+// measured immediately, and every Put thereafter tracks an approximate
+// footprint, triggering an oldest-first prune pass when it crosses the
+// budget.
+func (s *Store) SetMaxBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.maxBytes.Store(n)
+	if n > 0 {
+		bytes, _ := s.DiskBytes()
+		s.approxBytes.Store(bytes)
+		if bytes > n {
+			s.prune()
+		}
+	}
+}
+
+// MaxBytes returns the installed size budget (0 = none).
+func (s *Store) MaxBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.maxBytes.Load()
+}
+
+// notePut feeds one successful Put of n payload bytes into the budget
+// accounting.
+func (s *Store) notePut(n int) {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	if s.approxBytes.Add(int64(headerSize+n)) > max {
+		s.prune()
+	}
+}
+
+// pruneEntry is one cache file the prune walk found.
+type pruneEntry struct {
+	path  string
+	size  int64
+	mtime int64 // UnixNano
+}
+
+// prune walks the current schema generation and removes the oldest
+// entries (by mtime, ties broken by path for determinism) until the
+// footprint is under the budget with slack. It is best-effort
+// throughout: a held lock skips the pass, and an entry that cannot be
+// removed (already gone, permission) is skipped and retried by a later
+// pass. Corrupt entries need no special casing — they are ordinary
+// files here, and the read path already treats a missing entry as a
+// miss to recompute.
+func (s *Store) prune() {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	lock, ok, err := TryLockFile(filepath.Join(s.dir, "prune.lock"))
+	if err != nil || !ok {
+		return // someone else is pruning, or the directory is unusable
+	}
+	defer lock.Unlock()
+
+	root := filepath.Join(s.dir, schemaDir())
+	var entries []pruneEntry
+	var total int64
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".apx" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, pruneEntry{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		total += info.Size()
+		return nil
+	})
+	// The walk is the ground truth; resynchronize the running estimate.
+	s.approxBytes.Store(total)
+	if total <= max {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mtime != entries[j].mtime {
+			return entries[i].mtime < entries[j].mtime
+		}
+		return entries[i].path < entries[j].path
+	})
+	target := max / pruneSlackDen * pruneSlackNum
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			continue // in use or already gone; a later pass retries
+		}
+		total -= e.size
+		s.pruned.Add(1)
+		s.prunedBytes.Add(e.size)
+	}
+	s.approxBytes.Store(total)
+}

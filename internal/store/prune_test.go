@@ -1,0 +1,129 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// putEntry writes one entry and backdates its file mtime so eviction
+// order is deterministic regardless of how fast the test runs.
+func putEntry(t *testing.T, s *Store, i int, size int, mtime time.Time) Key {
+	t.Helper()
+	key := NewHasher("prune-test").Int(i).Key()
+	s.Put(KindResult, key, make([]byte, size))
+	path := s.path(KindResult, key)
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatalf("chtimes %s: %v", path, err)
+	}
+	return key
+}
+
+func countEntries(t *testing.T, s *Store) int {
+	t.Helper()
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".apx" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+func TestSetMaxBytesPrunesOldestFirst(t *testing.T) {
+	s := openT(t)
+	base := time.Now().Add(-time.Hour)
+	const entrySize = 1024
+	keys := make([]Key, 10)
+	for i := range keys {
+		keys[i] = putEntry(t, s, i, entrySize, base.Add(time.Duration(i)*time.Minute))
+	}
+	before, _ := s.DiskBytes()
+
+	// Budget for roughly four entries: SetMaxBytes measures the existing
+	// footprint and prunes immediately, oldest mtime first.
+	budget := int64(4 * (entrySize + headerSize))
+	s.SetMaxBytes(budget)
+
+	after, left := s.DiskBytes()
+	if after > budget {
+		t.Fatalf("disk = %d bytes after prune, want <= budget %d", after, budget)
+	}
+	if left == 0 || left == 10 {
+		t.Fatalf("entries after prune = %d, want some evicted and some kept", left)
+	}
+	st := s.Stats()
+	if st.Pruned != int64(10-left) {
+		t.Fatalf("Stats.Pruned = %d, want %d", st.Pruned, 10-left)
+	}
+	if st.PrunedBytes != before-after {
+		t.Fatalf("Stats.PrunedBytes = %d, want %d", st.PrunedBytes, before-after)
+	}
+
+	// Survivors are exactly the newest entries; the oldest are gone.
+	for i, key := range keys {
+		_, ok := s.Get(KindResult, key)
+		if wantAlive := i >= 10-left; ok != wantAlive {
+			t.Fatalf("entry %d present=%v, want %v (oldest-first eviction)", i, ok, wantAlive)
+		}
+	}
+}
+
+func TestPutTriggersPruneAtBudget(t *testing.T) {
+	s := openT(t)
+	const entrySize = 2048
+	s.SetMaxBytes(int64(5 * (entrySize + headerSize)))
+
+	// Write well past the budget; the running estimate must trigger
+	// prune passes that keep the directory bounded.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 40; i++ {
+		putEntry(t, s, i, entrySize, base.Add(time.Duration(i)*time.Second))
+	}
+	bytes, entries := s.DiskBytes()
+	if bytes > s.MaxBytes() {
+		t.Fatalf("disk = %d bytes, want <= budget %d (entries=%d)", bytes, s.MaxBytes(), entries)
+	}
+	if st := s.Stats(); st.Pruned == 0 || st.PrunedBytes == 0 {
+		t.Fatalf("stats = %+v, want pruning recorded", st)
+	}
+	// The newest entry always survives a pass (evicted-to-slack, oldest
+	// first), so the cache still serves fresh work.
+	if _, ok := s.Get(KindResult, NewHasher("prune-test").Int(39).Key()); !ok {
+		t.Fatal("newest entry evicted, want retained")
+	}
+}
+
+func TestNoBudgetMeansNoPruning(t *testing.T) {
+	s := openT(t)
+	for i := 0; i < 20; i++ {
+		s.Put(KindResult, NewHasher("prune-test").Int(i).Key(), make([]byte, 4096))
+	}
+	if _, entries := s.DiskBytes(); entries != 20 {
+		t.Fatalf("entries = %d, want all 20 retained without a budget", entries)
+	}
+	if st := s.Stats(); st.Pruned != 0 {
+		t.Fatalf("Stats.Pruned = %d, want 0", st.Pruned)
+	}
+	// Clearing an installed budget disables enforcement again.
+	s.SetMaxBytes(1024)
+	s.SetMaxBytes(0)
+	pruned := s.Stats().Pruned
+	for i := 20; i < 30; i++ {
+		s.Put(KindResult, NewHasher("prune-test").Int(i).Key(), make([]byte, 4096))
+	}
+	if got := s.Stats().Pruned; got != pruned {
+		t.Fatalf("Pruned advanced to %d after budget removal, want %d", got, pruned)
+	}
+}
+
+func TestSetMaxBytesNilStore(t *testing.T) {
+	var s *Store
+	s.SetMaxBytes(1024) // must not panic
+	if s.MaxBytes() != 0 {
+		t.Fatal("nil store MaxBytes != 0")
+	}
+}

@@ -69,11 +69,13 @@ var magic = [4]byte{'A', 'P', 'X', 'C'}
 
 // Stats counts the store's cache effectiveness since Open.
 type Stats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Puts    int64 `json:"puts"`
-	Corrupt int64 `json:"corrupt"` // entries failing envelope checks, recomputed
-	PutErrs int64 `json:"put_errors"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Corrupt     int64 `json:"corrupt"` // entries failing envelope checks, recomputed
+	PutErrs     int64 `json:"put_errors"`
+	Pruned      int64 `json:"pruned,omitempty"`       // entries evicted by the size budget
+	PrunedBytes int64 `json:"pruned_bytes,omitempty"` // bytes reclaimed by eviction
 }
 
 // Store is a content-addressed cache rooted at one directory. All
@@ -87,14 +89,23 @@ type Store struct {
 	puts    atomic.Int64
 	corrupt atomic.Int64
 	putErrs atomic.Int64
+
+	// Size budget (SetMaxBytes); see prune.go.
+	maxBytes    atomic.Int64
+	approxBytes atomic.Int64
+	pruned      atomic.Int64
+	prunedBytes atomic.Int64
 }
+
+// schemaDir is the per-schema-generation subdirectory name.
+func schemaDir() string { return fmt.Sprintf("v%d", SchemaVersion) }
 
 // Open opens (creating if needed) a store rooted at dir.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty cache directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion)), 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, schemaDir()), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &Store{dir: dir}, nil
@@ -111,7 +122,7 @@ func (s *Store) path(kind Kind, key Key) string {
 	if len(k) >= 2 {
 		sub = k[:2]
 	}
-	return filepath.Join(s.dir, fmt.Sprintf("v%d", SchemaVersion), string(kind), sub, k+".apx")
+	return filepath.Join(s.dir, schemaDir(), string(kind), sub, k+".apx")
 }
 
 // Get returns the payload stored under (kind, key), or ok=false on any
@@ -150,6 +161,7 @@ func (s *Store) Put(kind Kind, key Key, payload []byte) {
 		return
 	}
 	s.puts.Add(1)
+	s.notePut(len(payload))
 }
 
 func (s *Store) put(kind Kind, key Key, payload []byte) error {
@@ -228,11 +240,13 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Puts:    s.puts.Load(),
-		Corrupt: s.corrupt.Load(),
-		PutErrs: s.putErrs.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Corrupt:     s.corrupt.Load(),
+		PutErrs:     s.putErrs.Load(),
+		Pruned:      s.pruned.Load(),
+		PrunedBytes: s.prunedBytes.Load(),
 	}
 }
 
@@ -242,7 +256,7 @@ func (s *Store) DiskBytes() (bytes int64, entries int) {
 	if s == nil {
 		return 0, 0
 	}
-	root := filepath.Join(s.dir, fmt.Sprintf("v%d", SchemaVersion))
+	root := filepath.Join(s.dir, schemaDir())
 	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".apx" {
 			return nil

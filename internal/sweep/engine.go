@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cgra"
@@ -24,6 +25,10 @@ type Options struct {
 	// computed by this sweep — or by any earlier run sharing the
 	// directory — are reused instead of recomputed.
 	CacheDir string
+	// CacheMaxBytes bounds the cache directory's payload size; when a
+	// write pushes past it the oldest entries are pruned (see
+	// store.SetMaxBytes). 0 means unbounded.
+	CacheMaxBytes int64
 	// Checkpoint, when non-empty, is the path of the atomic progress
 	// snapshot. An interrupted sweep rerun with Resume picks up there.
 	Checkpoint string
@@ -33,6 +38,14 @@ type Options struct {
 	// FlushEvery is the number of completed cells between checkpoint
 	// flushes; 0 means 8. The final flush always happens.
 	FlushEvery int
+	// CellTimeout bounds each cell's backend evaluation (mapping through
+	// place-and-route); 0 means no per-cell deadline. A cell exceeding
+	// it fails with a canceled error recorded in its CellResult — the
+	// sweep continues and the run exits with the failed-cell status —
+	// while the shared front-end builds (analysis, variant) run under
+	// the run's own context and are never poisoned by one cell's
+	// deadline.
+	CellTimeout time.Duration
 	// Obs is the run's observability bundle; nil disables instrumentation.
 	Obs *obs.Obs
 	// Progress, when non-nil, receives cell completion events.
@@ -160,6 +173,9 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 		st, err := store.Open(opt.CacheDir)
 		if err != nil {
 			return nil, err
+		}
+		if opt.CacheMaxBytes > 0 {
+			st.SetMaxBytes(opt.CacheMaxBytes)
 		}
 		e.st = st
 	}
@@ -426,7 +442,13 @@ func (e *engine) evalCell(ctx context.Context, c Cell) CellResult {
 		}
 	}
 	if r == nil {
-		r, err = fw.Evaluate(ctx, app, v, core.EvalOptions{PnR: e.grid.PnR, Pipelined: e.grid.Pipelined})
+		ectx := ctx
+		if e.opt.CellTimeout > 0 {
+			var cancel context.CancelFunc
+			ectx, cancel = context.WithTimeout(ctx, e.opt.CellTimeout)
+			defer cancel()
+		}
+		r, err = fw.Evaluate(ectx, app, v, core.EvalOptions{PnR: e.grid.PnR, Pipelined: e.grid.Pipelined})
 		if err != nil {
 			res.Err = err.Error()
 			return res
