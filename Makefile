@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck servecheck fuzz golden faultcheck panic-lint diag-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck servecheck fuzz golden faultcheck panic-lint diag-lint metrics-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -69,9 +69,13 @@ fuzz:
 # The PnR performance gates (DESIGN.md §10): the annealer inner loop
 # must stay at zero allocations per move and the router within its
 # per-net allocation budget, so the hot-path rewrites can't silently
-# rot back to map-based state.
+# rot back to map-based state. The telemetry additions (DESIGN.md §14):
+# steady-state time-series recording and the no-subscriber event guard
+# are allocation-free, and per-job trace capture stays O(spans).
 perfcheck:
 	$(GO) test ./internal/cgra -run 'TestAnnealAllocs|TestRouteAllocs' -count=1 -v
+	$(GO) test ./internal/obs/ -run TestTimeSeriesAllocs -count=1
+	$(GO) test ./internal/serve/ -run 'TestEventPublishInactiveAllocs|TestJobTraceCaptureAllocs' -count=1
 
 # Regenerate the golden tables after an intentional change to the
 # evaluation numbers or table layout.
@@ -116,10 +120,25 @@ servecheck:
 	$(GO) test -race ./internal/serve/ -count=1
 	$(GO) test ./cmd/apex/ -count=1
 
+# Every metric name recorded through the obs context helpers must be
+# documented in the catalog comment atop internal/obs/metrics.go, so
+# the /metrics surface has a single source of truth. Dynamic suffixes
+# are cataloged as their prefix ("pnr.degraded.").
+metrics-lint:
+	@names=$$(grep -rhoE 'obs\.(Add|Observe|SetGauge|MaxGauge|ObserveSince)\([a-zA-Z]+, "[^"]+"' \
+		--include='*.go' --exclude='*_test.go' internal/ cmd/ | sed 's/.*"//' | sort -u); \
+	missing=; \
+	for n in $$names; do \
+		grep -q "$$n" internal/obs/metrics.go || missing="$$missing $$n"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "metric names missing from the catalog in internal/obs/metrics.go:$$missing"; exit 1; fi
+
 # The observability layer's own gate: the obs package race hammers, the
-# workers=1-vs-8 span/metric determinism suite, and the disabled-path
-# zero-allocation guards (DESIGN.md §9).
-obscheck:
+# workers=1-vs-8 span/metric determinism suite, the disabled-path
+# zero-allocation guards (DESIGN.md §9), and the metric-name catalog
+# lint (DESIGN.md §14).
+obscheck: metrics-lint
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/eval/ -run 'Obs|Determinism'
 	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1

@@ -302,11 +302,14 @@ func (h *Harness) Evaluate(ctx context.Context, app *apps.App, v *core.PEVariant
 				return r, nil
 			}
 		}
-		// Re-attach the observability bundle over the caller's context:
-		// cancellation still flows from the caller, but the "evaluate"
-		// span re-roots at the run span, so the span tree does not depend
-		// on which racing goroutine won the memo entry.
-		cctx := h.obs.Context(ctx)
+		// Re-root the observability context for the memoized build:
+		// cancellation still flows from the caller, and any per-request
+		// bundle the caller threaded through ctx (the daemon's per-job
+		// tracer and delta registry) is kept, but the "evaluate" span
+		// re-roots at its tracer's root, so the span tree does not depend
+		// on which racing goroutine won the memo entry. Facilities the
+		// caller did not carry fall back to the harness bundle.
+		cctx := h.obs.Reattach(ctx)
 		if h.CellTimeout > 0 {
 			var cancel context.CancelFunc
 			cctx, cancel = context.WithTimeout(cctx, h.CellTimeout)

@@ -13,13 +13,46 @@ import (
 	"time"
 )
 
+// Metric-name catalog. Every name recorded through the context helpers
+// (Add / Observe / SetGauge / MaxGauge / ObserveSince) at a pipeline
+// call site must be listed here — `make metrics-lint` enforces it — so
+// the daemon's /metrics surface stays documented in one place. Names
+// ending in "." are dynamic prefixes.
+//
+//	mine.candidates        counter  candidate subgraphs generated per round
+//	mine.dedup.hits        counter  per-parent duplicate candidates dropped
+//	mine.embeddings        counter  embeddings enumerated by Find+MNI
+//	mine.patterns          counter  frequent patterns kept
+//	mine.rounds            counter  mining rounds completed
+//	mine.frontier          gauge    high-watermark of the mining frontier
+//	place.portfolio.anneals counter placement portfolio anneals run
+//	place.portfolio.pick   counter  portfolio picks (one per placement)
+//	place.wirelength       gauge    last accepted placement wirelength
+//	pnr.attempts           counter  PnR ladder attempts
+//	pnr.degraded.          counter  degradations by reason (dynamic suffix)
+//	route.nets             counter  nets routed
+//	route.iterations       counter  PathFinder iterations
+//	route.ripup.nets       counter  nets ripped up across iterations
+//	route.ripup.sources    counter  rip-up source groups
+//	sched.cancel.polls     counter  cancellation polls in worker loops
+//
+// Registry-direct families (recorded via Registry methods, not the ctx
+// helpers): span.<name>, memo.<table>.<event>, cache.<kind>.<event>,
+// serve.*, sweep.*.
+
 // Registry is a concurrent registry of named counters, gauges, and
 // histograms. Instruments are created on first use and live for the
 // registry's lifetime; updates are lock-free atomics, so hot pipeline
 // loops can record without contending. Dumps are sorted by name, so two
 // runs recording the same values dump byte-identically.
+//
+// A registry built with NewChildRegistry additionally mirrors every
+// update into the same-named instrument of its parent: the child holds
+// a scoped delta (one job's worth of work) while the parent keeps the
+// daemon-wide totals, at the cost of one nil-check per update.
 type Registry struct {
 	mu         sync.RWMutex
+	parent     *Registry
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -34,29 +67,63 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NewChildRegistry returns a registry that mirrors every update into
+// parent. Instruments are linked lazily on first use, so a child costs
+// nothing for names it never touches. A nil parent yields an ordinary
+// registry.
+func NewChildRegistry(parent *Registry) *Registry {
+	r := NewRegistry()
+	r.parent = parent
+	return r
+}
+
 // Counter is a monotonically increasing count.
-type Counter struct{ v atomic.Int64 }
+type Counter struct {
+	v      atomic.Int64
+	mirror *Counter
+}
 
 // Add increments the counter.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	c.v.Add(n)
+	if c.mirror != nil {
+		c.mirror.v.Add(n)
+	}
+}
 
 // Value reads the counter.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a last-value (Set), delta (Add), or high-watermark (Max)
 // instrument.
-type Gauge struct{ v atomic.Int64 }
+type Gauge struct {
+	v      atomic.Int64
+	mirror *Gauge
+}
 
 // Set stores the value.
-func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+	if g.mirror != nil {
+		g.mirror.Set(n)
+	}
+}
 
 // Add moves the gauge by delta (negative to decrement) and returns the
 // new value — the shape a live occupancy gauge (queue depth, running
 // jobs) wants.
-func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+func (g *Gauge) Add(delta int64) int64 {
+	if g.mirror != nil {
+		g.mirror.Add(delta)
+	}
+	return g.v.Add(delta)
+}
 
 // Max raises the gauge to n if n is larger (a high-watermark update).
 func (g *Gauge) Max(n int64) {
+	if g.mirror != nil {
+		g.mirror.Max(n)
+	}
 	for {
 		cur := g.v.Load()
 		if n <= cur || g.v.CompareAndSwap(cur, n) {
@@ -82,6 +149,7 @@ type Histogram struct {
 	min     atomic.Int64 // valid when count > 0
 	max     atomic.Int64
 	buckets [len(histBuckets) + 1]atomic.Int64
+	mirror  *Histogram
 }
 
 // newHistogram returns a histogram whose min starts at the MaxInt64
@@ -95,6 +163,9 @@ func newHistogram() *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
+	if h.mirror != nil {
+		h.mirror.Observe(v)
+	}
 	h.count.Add(1)
 	for {
 		cur := h.min.Load()
@@ -128,6 +199,9 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
 		c = &Counter{}
+		if r.parent != nil {
+			c.mirror = r.parent.Counter(name)
+		}
 		r.counters[name] = c
 	}
 	return c
@@ -145,6 +219,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
 		g = &Gauge{}
+		if r.parent != nil {
+			g.mirror = r.parent.Gauge(name)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -162,6 +239,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
 		h = newHistogram()
+		if r.parent != nil {
+			h.mirror = r.parent.Histogram(name)
+		}
 		r.histograms[name] = h
 	}
 	return h
@@ -180,13 +260,20 @@ type BucketSnap struct {
 	Count int64  `json:"count"`
 }
 
-// HistogramSnap is one histogram in a snapshot.
+// HistogramSnap is one histogram in a snapshot. P50/P95/P99 are
+// estimated quantiles: linear interpolation within the power-of-two
+// bucket that holds the target rank, clamped to the observed [Min, Max]
+// (so a histogram whose values all share one bucket still reports exact
+// bounds). Zero when Count is zero.
 type HistogramSnap struct {
 	Name    string       `json:"name"`
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Min     int64        `json:"min"`
 	Max     int64        `json:"max"`
+	P50     int64        `json:"p50"`
+	P95     int64        `json:"p95"`
+	P99     int64        `json:"p99"`
 	Buckets []BucketSnap `json:"buckets"`
 }
 
@@ -220,8 +307,10 @@ func (r *Registry) Snapshot() RegistrySnap {
 		if hs.Count == 0 {
 			hs.Min = 0
 		}
+		var counts [len(histBuckets) + 1]int64
 		for i := range h.buckets {
 			n := h.buckets[i].Load()
+			counts[i] = n
 			if n == 0 {
 				continue
 			}
@@ -231,12 +320,65 @@ func (r *Registry) Snapshot() RegistrySnap {
 			}
 			hs.Buckets = append(hs.Buckets, BucketSnap{le, n})
 		}
+		if hs.Count > 0 {
+			hs.P50 = histQuantile(counts[:], hs.Count, hs.Min, hs.Max, 0.50)
+			hs.P95 = histQuantile(counts[:], hs.Count, hs.Min, hs.Max, 0.95)
+			hs.P99 = histQuantile(counts[:], hs.Count, hs.Min, hs.Max, 0.99)
+		}
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
 	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
 	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
 	return snap
+}
+
+// histQuantile estimates the q-quantile of a bucketed distribution:
+// find the bucket holding the ceil(q*total)'th observation (1-based),
+// then interpolate linearly between the bucket's bounds. The first
+// bucket's lower bound is 0 and the overflow bucket's upper bound is
+// the observed max; the estimate is clamped to [min, max] so it can
+// never leave the observed range.
+func histQuantile(counts []int64, total, min, max int64, q float64) int64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		var lo, hi int64
+		if i > 0 {
+			lo = histBuckets[i-1]
+		}
+		if i < len(histBuckets) {
+			hi = histBuckets[i]
+		} else {
+			hi = max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(rank-cum) / float64(n)
+		est := int64(math.Round(float64(lo) + frac*float64(hi-lo)))
+		if est < min {
+			est = min
+		}
+		if est > max {
+			est = max
+		}
+		return est
+	}
+	return max
 }
 
 // DumpText renders the registry as the deterministic sorted text form:
@@ -252,8 +394,8 @@ func (r *Registry) DumpText(w io.Writer) {
 		fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value)
 	}
 	for _, h := range snap.Histograms {
-		fmt.Fprintf(w, "histogram %s count=%d sum=%d min=%d max=%d\n",
-			h.Name, h.Count, h.Sum, h.Min, h.Max)
+		fmt.Fprintf(w, "histogram %s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99)
 		for _, b := range h.Buckets {
 			fmt.Fprintf(w, "  le=%s %d\n", b.LE, b.Count)
 		}

@@ -57,6 +57,47 @@ func (o *Obs) Context(ctx context.Context) context.Context {
 	return ctx
 }
 
+// Reattach prepares ctx for memoized (singleflight) work. Facilities
+// already carried by ctx are kept — except the span, which is reset to
+// its tracer's root so the tree cannot depend on which racing goroutine
+// won the memo entry; facilities ctx lacks are filled in from o. For a
+// caller whose context carries the same bundle as o this is exactly
+// o.Context(ctx); for a daemon that threads a per-job bundle through
+// the context, the job's tracer and delta registry survive, so the work
+// is attributed to the job that actually computed it.
+func (o *Obs) Reattach(ctx context.Context) context.Context {
+	if s, ok := ctx.Value(spanKey).(*Span); ok && s != nil {
+		if s.tracer != nil && s != s.tracer.root {
+			ctx = context.WithValue(ctx, spanKey, s.tracer.root)
+		}
+	} else if o != nil && o.Tracer != nil {
+		ctx = o.Tracer.Context(ctx)
+	}
+	if _, ok := ctx.Value(metricsKey).(*Registry); !ok && o != nil && o.Metrics != nil {
+		ctx = context.WithValue(ctx, metricsKey, o.Metrics)
+	}
+	if _, ok := ctx.Value(loggerKey).(*slog.Logger); !ok && o != nil && o.Logger != nil {
+		ctx = context.WithValue(ctx, loggerKey, o.Logger)
+	}
+	return ctx
+}
+
+// FromContext rebuilds a bundle from the facilities ctx carries: the
+// tracer owning the current span, the registry, and the logger. Returns
+// nil when ctx carries none of them.
+func FromContext(ctx context.Context) *Obs {
+	var o Obs
+	if s, ok := ctx.Value(spanKey).(*Span); ok && s != nil {
+		o.Tracer = s.tracer
+	}
+	o.Metrics, _ = ctx.Value(metricsKey).(*Registry)
+	o.Logger, _ = ctx.Value(loggerKey).(*slog.Logger)
+	if o.Tracer == nil && o.Metrics == nil && o.Logger == nil {
+		return nil
+	}
+	return &o
+}
+
 // Attr is one span attribute. It is a small value type whose
 // constructors never allocate: strings are stored as-is and numbers stay
 // numeric until export time, so building attributes for a disabled span

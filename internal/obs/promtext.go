@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// snapshot. Registry names map onto Prometheus metric names by
+// sanitization (every rune outside [a-zA-Z0-9_:] becomes '_', so
+// "serve.jobs.done" exposes as "serve_jobs_done"). A registry name of
+// the form "family{k=v,k2=v2}" is split into a family plus labels —
+// the convention the daemon uses for per-client gauges. Label values
+// are escaped per the exposition format; values containing ',' or '='
+// are not representable in the registry-name encoding, so writers of
+// labeled names sanitize them first (see serve's clientLabel).
+//
+// The output is deterministic for a deterministic snapshot: families
+// sort by exposed name, series within a family sort by label string —
+// which is what lets the golden test pin the format.
+
+// ContentTypePrometheus is the Content-Type of the exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// promSeries is one sample within a family.
+type promSeries struct {
+	labels string // rendered {k="v",...} block, "" when unlabeled
+	hist   *HistogramSnap
+	value  int64
+}
+
+type promFamily struct {
+	name   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series []promSeries
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus name
+// charset.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName splits "family{k=v,...}" into the family and the
+// rendered label block. A name without a trailing "{...}" is returned
+// as-is with empty labels.
+func splitLabeledName(name string) (family, labels string) {
+	if !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	family = name[:i]
+	inner := name[i+1 : len(name)-1]
+	var parts []string
+	for _, pair := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			k, v = pair, ""
+		}
+		parts = append(parts, sanitizeMetricName(k)+`="`+escapeLabelValue(v)+`"`)
+	}
+	return family, "{" + strings.Join(parts, ",") + "}"
+}
+
+func familyFor(m map[string]*promFamily, order *[]string, name, typ string) *promFamily {
+	f, ok := m[name]
+	if !ok {
+		f = &promFamily{name: name, typ: typ}
+		m[name] = f
+		*order = append(*order, name)
+	}
+	return f
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format, version 0.0.4. Counters keep their registry
+// semantics (monotonic) and gauges expose as gauges; histograms expose
+// the cumulative _bucket/_sum/_count triplet, with the overflow bucket
+// as le="+Inf".
+func WritePrometheus(w io.Writer, snap RegistrySnap) {
+	fams := map[string]*promFamily{}
+	var order []string
+
+	for _, c := range snap.Counters {
+		name, labels := splitLabeledName(c.Name)
+		f := familyFor(fams, &order, sanitizeMetricName(name), "counter")
+		f.series = append(f.series, promSeries{labels: labels, value: c.Value})
+	}
+	for _, g := range snap.Gauges {
+		name, labels := splitLabeledName(g.Name)
+		f := familyFor(fams, &order, sanitizeMetricName(name), "gauge")
+		f.series = append(f.series, promSeries{labels: labels, value: g.Value})
+	}
+	for i := range snap.Histograms {
+		h := &snap.Histograms[i]
+		name, labels := splitLabeledName(h.Name)
+		f := familyFor(fams, &order, sanitizeMetricName(name), "histogram")
+		f.series = append(f.series, promSeries{labels: labels, hist: h})
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		sort.SliceStable(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if s.hist == nil {
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.value)
+				continue
+			}
+			var cum int64
+			sawInf := false
+			for _, b := range s.hist.Buckets {
+				cum += b.Count
+				if b.LE == "+Inf" {
+					sawInf = true
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLE(s.labels, b.LE), cum)
+			}
+			if !sawInf {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLE(s.labels, "+Inf"), s.hist.Count)
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", f.name, s.labels, s.hist.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count)
+		}
+	}
+}
+
+// mergeLE merges the le label into an existing (possibly empty) label
+// block.
+func mergeLE(labels, le string) string {
+	leq := fmt.Sprintf("le=%q", le)
+	if labels == "" {
+		return "{" + leq + "}"
+	}
+	return labels[:len(labels)-1] + "," + leq + "}"
+}
+
+// WriteProcessMetrics appends the process-level gauges and counters a
+// scrape of a long-running daemon wants: goroutines, heap, GC, uptime.
+// These read live runtime state, so they are validated structurally in
+// tests rather than golden-pinned.
+func WriteProcessMetrics(w io.Writer, start time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# TYPE go_mem_heap_alloc_bytes gauge\ngo_mem_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# TYPE go_mem_heap_sys_bytes gauge\ngo_mem_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# TYPE go_mem_total_alloc_bytes_total counter\ngo_mem_total_alloc_bytes_total %d\n", ms.TotalAlloc)
+	fmt.Fprintf(w, "# TYPE go_gc_runs_total counter\ngo_gc_runs_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		strconv.FormatFloat(float64(ms.PauseTotalNs)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "# TYPE process_uptime_seconds gauge\nprocess_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(start).Seconds(), 'g', -1, 64))
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SeriesSet is a collection of named fixed-resolution ring buffers —
+// the daemon's rolling time-series store. Each series holds one float
+// per resolution slot over a fixed window (e.g. 1s × 15min = 900
+// slots), so memory is bounded at construction time: slots × 9 bytes
+// per series, regardless of uptime. Slots are addressed by absolute
+// index (unix-nanos / resolution); recording into a later slot clears
+// everything skipped in between, so a stalled sampler leaves gaps, not
+// stale values.
+//
+// A nil *SeriesSet is valid: Record and Window are no-ops, matching the
+// rest of the obs layer's disabled-path contract.
+type SeriesSet struct {
+	mu    sync.Mutex
+	res   time.Duration
+	slots int
+	m     map[string]*series
+}
+
+type series struct {
+	vals []float64
+	ok   []bool
+	last int64 // absolute index of the newest recorded slot
+	has  bool  // false until the first Record
+}
+
+// NewSeriesSet returns a set whose series hold window/resolution slots.
+// Resolution must be positive; window is floored to one slot.
+func NewSeriesSet(resolution, window time.Duration) *SeriesSet {
+	if resolution <= 0 {
+		resolution = time.Second
+	}
+	n := int(window / resolution)
+	if n < 1 {
+		n = 1
+	}
+	return &SeriesSet{res: resolution, slots: n, m: map[string]*series{}}
+}
+
+// Resolution returns the slot width.
+func (s *SeriesSet) Resolution() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.res
+}
+
+// Record stores v in the slot covering t, creating the series on first
+// use. Within one slot the last value wins (the sampler records once
+// per slot). Records older than the newest recorded slot are dropped —
+// the write path is monotonic by construction.
+func (s *SeriesSet) Record(name string, t time.Time, v float64) {
+	if s == nil {
+		return
+	}
+	idx := t.UnixNano() / int64(s.res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.m[name]
+	if sr == nil {
+		sr = &series{vals: make([]float64, s.slots), ok: make([]bool, s.slots)}
+		s.m[name] = sr
+	}
+	switch {
+	case !sr.has:
+		sr.has = true
+		sr.last = idx
+	case idx < sr.last:
+		return
+	case idx > sr.last:
+		// Clear the slots strictly between last and idx (skipped by a
+		// stalled sampler) so old lap data cannot show through.
+		steps := idx - sr.last - 1
+		if steps > int64(s.slots) {
+			steps = int64(s.slots)
+		}
+		for i := int64(1); i <= steps; i++ {
+			p := (idx - i) % int64(s.slots)
+			if p < 0 {
+				p += int64(s.slots)
+			}
+			sr.ok[p] = false
+		}
+		sr.last = idx
+	}
+	p := idx % int64(s.slots)
+	if p < 0 {
+		p += int64(s.slots)
+	}
+	sr.vals[p] = v
+	sr.ok[p] = true
+}
+
+// SeriesPoint is one slot of a window query. V is nil for slots with no
+// sample (gaps render as nulls in JSON).
+type SeriesPoint struct {
+	T int64    `json:"t"` // slot start, unix milliseconds
+	V *float64 `json:"v"`
+}
+
+// SeriesWindow is the result of a Window query.
+type SeriesWindow struct {
+	Series       string        `json:"series"`
+	ResolutionMS int64         `json:"resolution_ms"`
+	Points       []SeriesPoint `json:"points"`
+}
+
+// Window returns the series' points for the window ending at now,
+// oldest first. The window is clamped to the ring size. Returns false
+// when the series does not exist (or the set is nil).
+func (s *SeriesSet) Window(name string, now time.Time, window time.Duration) (SeriesWindow, bool) {
+	if s == nil {
+		return SeriesWindow{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.m[name]
+	if sr == nil {
+		return SeriesWindow{}, false
+	}
+	k := int(window / s.res)
+	if k < 1 {
+		k = 1
+	}
+	if k > s.slots {
+		k = s.slots
+	}
+	end := now.UnixNano() / int64(s.res)
+	out := SeriesWindow{Series: name, ResolutionMS: s.res.Milliseconds()}
+	for idx := end - int64(k) + 1; idx <= end; idx++ {
+		pt := SeriesPoint{T: idx * int64(s.res) / int64(time.Millisecond)}
+		if sr.has && idx <= sr.last && idx > sr.last-int64(s.slots) {
+			p := idx % int64(s.slots)
+			if p < 0 {
+				p += int64(s.slots)
+			}
+			if sr.ok[p] {
+				v := sr.vals[p]
+				pt.V = &v
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, true
+}
+
+// Names returns the recorded series names, sorted.
+func (s *SeriesSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for name := range s.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

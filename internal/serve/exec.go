@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/frontend"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -136,7 +137,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (json.RawMessage, error) {
 	case KindEvaluate:
 		return s.execEvaluate(ctx, j.Params)
 	case KindSweep:
-		return s.execSweep(ctx, j.Params)
+		return s.execSweep(ctx, j)
 	case KindCompile:
 		return s.execCompile(ctx, j.Params)
 	default:
@@ -254,13 +255,29 @@ func (s *Server) execEvaluate(ctx context.Context, p Params) (json.RawMessage, e
 // execSweep runs a whole grid as one job. The sweep shares the daemon's
 // cache directory (its own store handle — the store is multi-process
 // safe) but runs serially inside the job's worker slot, so one giant
-// sweep cannot monopolize the pool beyond its fair share.
-func (s *Server) execSweep(ctx context.Context, p Params) (json.RawMessage, error) {
-	rep, err := sweep.Run(ctx, *p.Grid, sweep.Options{
+// sweep cannot monopolize the pool beyond its fair share. The
+// observability bundle comes from the job's context (the per-job
+// tracer/registry runJob installed), and each completed cell is
+// announced on the event stream when anyone is listening.
+func (s *Server) execSweep(ctx context.Context, j *Job) (json.RawMessage, error) {
+	opts := sweep.Options{
 		Workers:  1,
 		CacheDir: s.cfg.CacheDir,
-		Obs:      s.cfg.Obs,
-	})
+		Obs:      obs.FromContext(ctx),
+	}
+	if s.events != nil {
+		id := j.ID
+		opts.OnCell = func(done, total int, r sweep.CellResult) {
+			if !s.events.active() {
+				return
+			}
+			s.events.publish(Event{Type: "sweep", Sweep: &SweepEvent{
+				JobID: id, Done: done, Total: total,
+				Cell: r.Index, App: r.App, Variant: r.Variant, Err: r.Err,
+			}})
+		}
+	}
+	rep, err := sweep.Run(ctx, *j.Params.Grid, opts)
 	if err != nil {
 		return nil, err
 	}

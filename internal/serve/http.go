@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -18,7 +19,11 @@ import (
 //	GET    /api/v1/jobs/{id}       one job, result included when done
 //	GET    /api/v1/jobs/{id}/result the raw result document (404 until done)
 //	DELETE /api/v1/jobs/{id}       cancel (queued: immediate; running: ctx cancel)
+//	GET    /api/v1/jobs/{id}/trace per-job span tree (?format=tree|chrome|json)
 //	GET    /api/v1/stats           queue/limiter/store/metrics snapshot
+//	GET    /api/v1/timeseries      rolling series (?series=a,b&window=5m)
+//	GET    /api/v1/events          live event stream (SSE, ?types=job,sweep)
+//	GET    /metrics                Prometheus text exposition (v0.0.4)
 //	GET    /healthz                liveness (200 while the process serves)
 //	GET    /readyz                 readiness (503 once draining)
 //
@@ -57,6 +62,8 @@ type statsResponse struct {
 	Store      any               `json:"store,omitempty"`
 	Metrics    *obs.RegistrySnap `json:"metrics,omitempty"`
 	MemoTables map[string]any    `json:"memo_tables,omitempty"`
+	Events     *eventStats       `json:"events,omitempty"`
+	Traces     *traceStats       `json:"traces,omitempty"`
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -67,7 +74,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -94,12 +105,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // writeRetryAfter rejects with a Retry-After hint in whole seconds,
-// rounded up (a zero hint still advertises one second).
-func writeRetryAfter(w http.ResponseWriter, status int, wait time.Duration, msg string) {
+// rounded up (a zero hint still advertises one second). Each rejection
+// is counted, as are the advertised seconds, so operators can see both
+// how often backpressure fires and how much delay it is handing out.
+func (s *Server) writeRetryAfter(w http.ResponseWriter, status int, wait time.Duration, msg string) {
 	secs := int64((wait + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	switch status {
+	case http.StatusTooManyRequests:
+		s.count("serve.backpressure.429", 1)
+	case http.StatusServiceUnavailable:
+		s.count("serve.backpressure.503", 1)
+	}
+	s.count("serve.backpressure.retry_after_seconds", secs)
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	writeJSON(w, status, apiError{Error: msg})
 }
@@ -137,9 +157,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		snap, _ := s.JobSnapshot(j.ID)
 		writeJSON(w, http.StatusAccepted, snap)
 	case http.StatusTooManyRequests:
-		writeRetryAfter(w, status, wait, "over capacity: retry later")
+		s.writeRetryAfter(w, status, wait, "over capacity: retry later")
 	case http.StatusServiceUnavailable:
-		writeRetryAfter(w, status, wait, "draining: not accepting jobs")
+		s.writeRetryAfter(w, status, wait, "draining: not accepting jobs")
 	default:
 		writeError(w, status, "rejected")
 	}
@@ -257,5 +277,149 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		memo[name] = ms
 	}
 	resp.MemoTables = memo
+	if s.events != nil {
+		es := s.events.stats()
+		resp.Events = &es
+	}
+	if s.traces != nil {
+		ts := s.traces.stats()
+		resp.Traces = &ts
+	}
 	writeJSON(w, http.StatusOK, &resp)
+}
+
+// handleMetrics serves the Prometheus text exposition: the full metrics
+// registry plus process-level series. Served even with no registry
+// configured (process metrics alone still tell an operator the daemon
+// is alive).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+	if s.cfg.Obs != nil && s.cfg.Obs.Metrics != nil {
+		obs.WritePrometheus(w, s.cfg.Obs.Metrics.Snapshot())
+	}
+	obs.WriteProcessMetrics(w, s.startedAt)
+}
+
+// handleTrace serves a finished job's captured trace. Formats:
+//
+//	tree   (default) the canonical time-free span tree, text/plain
+//	chrome the Chrome trace_event JSON (load in chrome://tracing)
+//	json   the full record: tree + per-job metrics delta + identity
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.JobSnapshot(id); !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	rec, ok := s.traces.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace retained for job %s (not run yet, capture disabled, or evicted)", id)
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "tree":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(rec.Tree))
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rec.Chrome)
+	case "json":
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want tree, chrome, or json)", f)
+	}
+}
+
+// handleTimeseries serves the rolling series. Without ?series= it lists
+// what is available; with it, returns the named series' windows (gaps
+// render as nulls).
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	if s.ts == nil {
+		writeError(w, http.StatusNotFound, "time-series sampling disabled (no metrics registry)")
+		return
+	}
+	q := r.URL.Query()
+	names := q.Get("series")
+	if names == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"series":        s.ts.Names(),
+			"catalog":       timeseriesCatalog,
+			"resolution_ms": s.ts.Resolution().Milliseconds(),
+		})
+		return
+	}
+	window := s.cfg.sampleWindow()
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid window %q", v)
+			return
+		}
+		window = d
+	}
+	now := time.Now()
+	var out []obs.SeriesWindow
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		wnd, ok := s.ts.Window(name, now, window)
+		if !ok {
+			// Unknown series still answer, with no points: a dashboard
+			// polling before the first sample sees an empty window, not
+			// an error.
+			wnd = obs.SeriesWindow{Series: name, ResolutionMS: s.ts.Resolution().Milliseconds()}
+		}
+		out = append(out, wnd)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"windows": out})
+}
+
+// handleEvents streams the live event bus over SSE. Each event is one
+// frame (id = sequence number, event = type, data = JSON). A slow
+// consumer drops events rather than slowing the daemon; the drop count
+// is in /api/v1/stats. The stream ends when the client disconnects or
+// the daemon drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var types []string
+	if v := r.URL.Query().Get("types"); v != "" {
+		types = strings.Split(v, ",")
+	}
+	sub := s.events.subscribe(types, s.cfg.eventBuffer())
+	defer s.events.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "retry: 3000\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.ch:
+			if !open {
+				return // bus closed: daemon draining
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			fl.Flush()
+		}
+	}
 }

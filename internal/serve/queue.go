@@ -218,6 +218,14 @@ func (q *queue) len() int {
 	return q.size
 }
 
+// clientLen returns one client's queued population (feeds the
+// per-client depth gauges).
+func (q *queue) clientLen(client string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.perClient[client])
+}
+
 // pending snapshots the queued jobs (drain journals them).
 func (q *queue) pending() []*Job {
 	q.mu.Lock()

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector instruments this build;
+// allocation-count assertions are skipped because the instrumentation
+// itself allocates.
+const raceEnabled = true

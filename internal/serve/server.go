@@ -63,6 +63,20 @@ type Config struct {
 	// Obs is the daemon's observability bundle; nil disables
 	// instrumentation.
 	Obs *obs.Obs
+	// EventBuffer is each event-stream subscriber's channel capacity;
+	// events past a full buffer are dropped for that subscriber (and
+	// counted). 0 means 64.
+	EventBuffer int
+	// TraceRingSize and TraceRingBytes bound the per-job trace
+	// retention ring (newest records win). 0 means 256 records / 16 MiB;
+	// a negative size disables trace capture.
+	TraceRingSize  int
+	TraceRingBytes int64
+	// SampleInterval is the rolling time-series resolution; 0 means 1s.
+	// Negative disables the background sampler (tests drive sampling
+	// manually). SampleWindow is the retained span; 0 means 15m.
+	SampleInterval time.Duration
+	SampleWindow   time.Duration
 }
 
 func (c Config) queueDepth() int {
@@ -90,6 +104,49 @@ func (c Config) retryBackoff() time.Duration {
 	return 250 * time.Millisecond
 }
 
+func (c Config) eventBuffer() int {
+	if c.EventBuffer > 0 {
+		return c.EventBuffer
+	}
+	return 64
+}
+
+func (c Config) traceRingSize() int {
+	switch {
+	case c.TraceRingSize > 0:
+		return c.TraceRingSize
+	case c.TraceRingSize < 0:
+		return 0
+	default:
+		return 256
+	}
+}
+
+func (c Config) traceRingBytes() int64 {
+	if c.TraceRingBytes > 0 {
+		return c.TraceRingBytes
+	}
+	return 16 << 20
+}
+
+func (c Config) sampleInterval() time.Duration {
+	switch {
+	case c.SampleInterval > 0:
+		return c.SampleInterval
+	case c.SampleInterval < 0:
+		return 0
+	default:
+		return time.Second
+	}
+}
+
+func (c Config) sampleWindow() time.Duration {
+	if c.SampleWindow > 0 {
+		return c.SampleWindow
+	}
+	return 15 * time.Minute
+}
+
 func (c Config) memoResetEvery() int {
 	switch {
 	case c.MemoResetEvery > 0:
@@ -114,11 +171,21 @@ type Server struct {
 	now   func() time.Time
 	nonce string
 
-	mu        sync.Mutex
-	jobs      map[string]*Job
-	order     []string // insertion order, for stable pagination
-	cancels   map[string]context.CancelFunc
-	canceling map[string]bool // cancellation requested via the API
+	// Telemetry: live event fanout, per-job trace retention, rolling
+	// time-series plus the sampler feeding it (ts/smp are nil without a
+	// metrics registry).
+	events    *eventBus
+	traces    *traceRing
+	ts        *obs.SeriesSet
+	smp       *sampler
+	startedAt time.Time
+
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // insertion order, for stable pagination
+	cancels      map[string]context.CancelFunc
+	canceling    map[string]bool // cancellation requested via the API
+	clientSeries map[string]bool // clients with a queue-depth gauge
 
 	seq      atomic.Int64 // job-ID counter (per process)
 	draining atomic.Bool
@@ -138,15 +205,37 @@ func New(cfg Config) (*Server, error) {
 	h.FastMode = cfg.FastMode
 	h.Workers = 1 // jobs are the unit of parallelism; one cell each
 	h.KeepGoing = true
-	h.SetObs(cfg.Obs)
+	// The harness gets the daemon bundle minus the tracer: spans belong
+	// to the per-job tracers runJob installs (a daemon-lifetime tracer
+	// would accumulate spans without bound), while memo/cache counters
+	// and logging stay daemon-wide.
+	hobs := cfg.Obs
+	if hobs != nil && hobs.Tracer != nil {
+		hobs = &obs.Obs{Metrics: hobs.Metrics, Logger: hobs.Logger}
+	}
+	h.SetObs(hobs)
 
 	s := &Server{
-		cfg:       cfg,
-		h:         h,
-		now:       time.Now,
-		jobs:      map[string]*Job{},
-		cancels:   map[string]context.CancelFunc{},
-		canceling: map[string]bool{},
+		cfg:          cfg,
+		h:            h,
+		now:          time.Now,
+		startedAt:    time.Now(),
+		jobs:         map[string]*Job{},
+		cancels:      map[string]context.CancelFunc{},
+		canceling:    map[string]bool{},
+		clientSeries: map[string]bool{},
+	}
+	s.events = newEventBus(func(n int64) { s.count("serve.events.dropped", n) })
+	if n := cfg.traceRingSize(); n > 0 {
+		s.traces = newTraceRing(n, cfg.traceRingBytes())
+	}
+	if cfg.Obs != nil && cfg.Obs.Metrics != nil {
+		res := cfg.sampleInterval()
+		if res <= 0 {
+			res = time.Second
+		}
+		s.ts = obs.NewSeriesSet(res, cfg.sampleWindow())
+		s.smp = newSampler(s, res)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.q = newQueue(cfg.queueDepth(), func() time.Time { return s.now() })
@@ -217,10 +306,15 @@ func (s *Server) Harness() *eval.Harness { return s.h }
 // Store returns the attached persistent store (nil without CacheDir).
 func (s *Server) Store() *store.Store { return s.st }
 
-// Start launches the worker pool. It is idempotent.
+// Start launches the worker pool and the time-series sampler. It is
+// idempotent.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
+	}
+	if s.smp != nil && s.cfg.sampleInterval() > 0 {
+		s.smp.running.Store(true)
+		go s.smp.run()
 	}
 	n := s.cfg.Workers
 	if n <= 0 {
@@ -272,8 +366,22 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	// Final flush: every non-terminal job (still queued, or requeued by
 	// the cancellation above) persists as pending.
-	if err := s.journalAll(); err != nil {
+	err := s.journalAll()
+	if err != nil {
 		s.logger().Warn("final journal flush failed", "err", err.Error())
+	}
+
+	// Telemetry teardown after the workers are idle, so every terminal
+	// event has been published: close the stream (subscribers see EOF)
+	// and stop the sampler.
+	s.events.closeAll()
+	if s.smp != nil {
+		s.smp.halt()
+		if s.smp.running.Load() {
+			<-s.smp.done
+		}
+	}
+	if err != nil {
 		return err
 	}
 	s.logger().Info("drain finished", "timed_out", timedOut)
@@ -339,8 +447,10 @@ func (s *Server) submit(j *Job) (status int, retryAfter time.Duration) {
 		return 429, s.fullRetryAfter()
 	}
 	s.gauge("serve.queue.depth", int64(s.q.len()))
+	s.noteClientDepth(j.Client)
 	s.count("serve.jobs.accepted", 1)
 	s.journal(j)
+	s.publishJob(j)
 	return 0, 0
 }
 
@@ -379,12 +489,30 @@ func (s *Server) runJob(j *Job) {
 		j.Attempts++
 	})
 	s.gauge("serve.queue.depth", int64(s.q.len()))
+	s.noteClientDepth(j.Client)
+	s.count("serve.jobs.started", 1)
 	s.gaugeAdd("serve.jobs.running", 1)
 	defer s.gaugeAdd("serve.jobs.running", -1)
+	s.publishJob(j)
 
+	// Each attempt runs under its own observability scope: a fresh
+	// tracer (whose canonical tree is schedule- and attempt-invariant —
+	// the trace endpoint's byte-identical-resume contract) and a child
+	// registry that scopes the job's metric deltas while mirroring them
+	// into the daemon-wide registry. The job attrs live on a "job" span,
+	// not the root, and exclude the attempt number, which is recorded on
+	// the TraceRecord instead.
 	ctx := s.baseCtx
+	var jt *obs.Tracer
+	var jreg *obs.Registry
 	if s.cfg.Obs != nil {
-		ctx = s.cfg.Obs.Context(ctx)
+		jt = obs.NewTracer()
+		if s.cfg.Obs.Metrics != nil {
+			jreg = obs.NewChildRegistry(s.cfg.Obs.Metrics)
+			jt.LinkMetrics(jreg)
+		}
+		jobObs := &obs.Obs{Tracer: jt, Metrics: jreg, Logger: s.cfg.Obs.Logger}
+		ctx = jobObs.Context(ctx)
 	}
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
@@ -396,7 +524,11 @@ func (s *Server) runJob(j *Job) {
 	s.cancels[j.ID] = cancel
 	s.mu.Unlock()
 
-	result, err := s.execute(ctx, j)
+	jctx, jobSpan := obs.StartSpan(ctx, "job",
+		obs.String("id", j.ID), obs.String("kind", string(j.Kind)), obs.String("client", j.Client))
+	result, err := s.execute(jctx, j)
+	jobSpan.End()
+	s.captureTrace(j, jt, jreg)
 
 	s.mu.Lock()
 	delete(s.cancels, j.ID)
@@ -459,6 +591,7 @@ func (s *Server) disposeFailure(j *Job, err error, deadlineHit bool) {
 			})
 			s.journal(j)
 			s.count("serve.jobs.parked", 1)
+			s.publishJob(j)
 			return
 		case deadlineHit:
 			// The job's own deadline: a transient stall is worth a retry.
@@ -478,6 +611,7 @@ func (s *Server) disposeFailure(j *Job, err error, deadlineHit bool) {
 		})
 		s.journal(j)
 		s.count("serve.jobs.retried", 1)
+		s.publishJob(j)
 		s.logger().Info("retrying job", "id", j.ID, "attempt", j.Attempts,
 			"backoff", backoff.String(), "err", err.Error())
 		if perr := s.q.push(j, true); perr != nil {
@@ -485,6 +619,7 @@ func (s *Server) disposeFailure(j *Job, err error, deadlineHit bool) {
 			return
 		}
 		s.gauge("serve.queue.depth", int64(s.q.len()))
+		s.noteClientDepth(j.Client)
 		return
 	}
 
@@ -498,7 +633,10 @@ func (s *Server) disposeFailure(j *Job, err error, deadlineHit bool) {
 		"attempts", j.Attempts, "err", err.Error())
 }
 
-// finish applies a terminal transition and journals it.
+// finish applies a terminal transition, journals it, and announces it
+// on the event stream. Every terminal state passes through here exactly
+// once per job lifetime (journal-loaded terminal jobs never re-enter),
+// which is what makes terminal events exactly-once.
 func (s *Server) finish(j *Job, mutate func()) {
 	s.transition(j, func() {
 		mutate()
@@ -507,6 +645,7 @@ func (s *Server) finish(j *Job, mutate func()) {
 	})
 	s.done.Add(1)
 	s.journal(j)
+	s.publishJob(j)
 }
 
 // backoff computes the delay before a job's next attempt: exponential
@@ -561,6 +700,7 @@ func (s *Server) cancelJob(id string) bool {
 		})
 		s.count("serve.jobs.canceled", 1)
 		s.gauge("serve.queue.depth", int64(s.q.len()))
+		s.noteClientDepth(j.Client)
 		return true
 	}
 	// Raced a worker picking it up between the lock and the queue scan;

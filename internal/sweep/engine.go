@@ -50,6 +50,15 @@ type Options struct {
 	Obs *obs.Obs
 	// Progress, when non-nil, receives cell completion events.
 	Progress *obs.Progress
+	// OnCell, when non-nil, is invoked from the collector goroutine for
+	// every cell this run completes (cached cells resumed from the
+	// checkpoint are not re-announced), with done counting completed
+	// cells including resumed ones and total the full expanded grid.
+	// Calls are serialized — the collector is the sweep's single writer —
+	// and arrive in completion order, which varies with the worker count;
+	// the set of events does not. Callbacks must be fast: they run on the
+	// checkpoint-flush path.
+	OnCell func(done, total int, r CellResult)
 }
 
 func (o Options) workers() int {
@@ -245,6 +254,9 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 				flush()
 			}
 			opt.Progress.Done(1)
+			if opt.OnCell != nil {
+				opt.OnCell(rep.Resumed+rep.Computed, len(cells), r)
+			}
 		}
 		flush()
 	}()

@@ -241,3 +241,47 @@ func TestRunCanceledThenResumed(t *testing.T) {
 			full.Results, clean.Results)
 	}
 }
+
+// TestOnCellEventSetWorkerInvariant: the per-cell progress callback
+// fires exactly once per cell from the collector goroutine, done covers
+// the grid, and the SET of announcements (which cells, with which
+// results) is identical across worker counts — completion ORDER may
+// differ, the set may not. This is the contract the daemon's SSE sweep
+// events inherit.
+func TestOnCellEventSetWorkerInvariant(t *testing.T) {
+	type announce struct {
+		Cell         int
+		App, Variant string
+		Err          string
+		Total        int
+	}
+	g := testGrid()
+	collect := func(workers int) (map[announce]int, int) {
+		seen := map[announce]int{}
+		maxDone := 0
+		mustRun(t, g, Options{Workers: workers, OnCell: func(done, total int, r CellResult) {
+			seen[announce{r.Index, r.App, r.Variant, r.Err, total}]++
+			if done > maxDone {
+				maxDone = done
+			}
+		}})
+		return seen, maxDone
+	}
+	s1, d1 := collect(1)
+	s8, d8 := collect(8)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("OnCell event sets differ between Workers=1 and Workers=8:\n%+v\nvs\n%+v", s1, s8)
+	}
+	cells := g.Normalized().Cells()
+	if len(s1) != len(cells) {
+		t.Fatalf("got %d distinct announcements, want %d (one per cell)", len(s1), len(cells))
+	}
+	for ev, n := range s1 {
+		if n != 1 {
+			t.Errorf("cell %d announced %d times, want 1", ev.Cell, n)
+		}
+	}
+	if d1 != len(cells) || d8 != len(cells) {
+		t.Fatalf("done peaked at %d/%d, want %d for both", d1, d8, len(cells))
+	}
+}
