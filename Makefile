@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep perfcheck minecheck sweepcheck servecheck fuzz golden faultcheck panic-lint diag-lint metrics-lint obscheck check
+.PHONY: build test race vet fmt-check bench bench-pnr bench-mine bench-sweep bench-triage perfcheck minecheck sweepcheck servecheck triagecheck fuzz golden faultcheck panic-lint diag-lint metrics-lint obscheck check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ bench-mine:
 bench-sweep:
 	$(GO) test . -run TestWriteBenchSweep -bench-sweep=BENCH_sweep.json -count=1 -v
 
+# Refresh the sweep-triage trajectory (BENCH_triage.json): the same PnR
+# grid full-oracle vs predictor-triaged, the ≥3x speedup gate, the ≤2%
+# Pareto hypervolume-regret gate, and the predicted-vs-actual error of
+# the pruned cells.
+bench-triage:
+	$(GO) test . -run TestWriteBenchTriage -bench-triage=BENCH_triage.json -count=1 -v -timeout 20m
+
 # The persistent-store and sweep-engine gates (DESIGN.md §12): codecs
 # round-trip pipeline artifacts exactly, poisoned cache entries are
 # detected and recomputed, a warm suite is byte-identical to cold, and a
@@ -60,6 +67,17 @@ sweepcheck:
 minecheck:
 	$(GO) test ./internal/mining/ -run 'TestMineMatchesReference|TestMineWorkersDeterministic|TestMineAllocGates|TestMNIBruteForce|TestMaxEmbeddingsCap' -count=1
 	$(GO) test ./internal/graph/ -run 'TestCanonicalCodeMatchesLegacy|TestMatcherMatchesFindEmbeddings' -count=1
+
+# The predictor-guided triage gates (DESIGN.md §15): the cost model
+# trains deterministically (byte-identical serialized models and cell
+# results at any worker count), a triaged sweep marks predicted cells
+# and keeps the oracle frontier separable, resume with changed triage
+# flags is refused, an interrupted triaged sweep resumes byte-identical,
+# and the model/sample codecs round-trip exactly — all under the race
+# detector.
+triagecheck:
+	$(GO) test -race ./internal/costmodel/ -count=1
+	$(GO) test -race ./internal/sweep/ -run Triage -count=1
 
 # Short fuzz pass over every fuzz target (currently canonical-code
 # permutation invariance and collision soundness); CI-sized budget.
@@ -144,5 +162,5 @@ obscheck: metrics-lint
 	$(GO) test ./internal/obs/ -run TestDisabledPathAllocs -count=1
 	$(GO) test . -run TestObsDisabledOverheadUnderTwoPercent -count=1
 
-check: vet fmt-check panic-lint diag-lint build race minecheck sweepcheck faultcheck obscheck perfcheck servecheck
+check: vet fmt-check panic-lint diag-lint build race minecheck sweepcheck triagecheck faultcheck obscheck perfcheck servecheck
 	@echo "all checks passed"

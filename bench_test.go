@@ -28,6 +28,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rewrite"
 	"repro/internal/store"
+	"repro/internal/sweep"
 	"repro/internal/tech"
 )
 
@@ -745,4 +746,169 @@ func TestWriteBenchSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (cold %v, warm %v, %.1fx)", *benchSweepOut, cold, warm, out.Speedup)
+}
+
+var benchTriageOut = flag.String("bench-triage", "", "write the sweep-triage benchmark trajectory JSON (BENCH_triage.json) to this path")
+
+// TestWriteBenchTriage measures predictor-guided sweep triage end to end
+// and writes the trajectory file `make bench-triage` tracks across PRs:
+// the same place-and-route grid swept with the full oracle versus with
+// -triage-top pruning, on caches pre-warmed with a post-mapping pass so
+// both timings measure the PnR work triage actually prunes rather than
+// the shared one-time mining cost. Two gates: the triaged sweep must be
+// >= 3x faster than the full oracle, and the hypervolume of the triaged
+// run's oracle-only frontier must be within 2% of the full frontier's
+// (the regret bound — the pruning may not cost real Pareto coverage).
+// The file also records predicted-vs-actual error over the pruned
+// cells, measured against the full run's oracle numbers for the exact
+// same cells. Skipped unless -bench-triage is set.
+func TestWriteBenchTriage(t *testing.T) {
+	if *benchTriageOut == "" {
+		t.Skip("enable with -bench-triage=<path>")
+	}
+	g := sweep.Grid{
+		Apps:      []string{"camera", "harris"},
+		Supports:  []int{0},
+		Fabrics:   [][2]int{{32, 16}},
+		Seeds:     []int64{1, 2, 3, 4, 5},
+		Ks:        []int{1, 2, 3, 4, 5, 6, 7, 8},
+		PnR:       true,
+		Pipelined: true,
+	}
+	run := func(tr sweep.TriageOptions) (time.Duration, *sweep.Report) {
+		dir := t.TempDir()
+		warm := g
+		warm.PnR = false
+		if _, err := sweep.Run(context.Background(), warm, sweep.Options{Workers: 4, CacheDir: dir}); err != nil {
+			t.Fatal(err)
+		}
+		// The timed runs are serial so the recorded speedup is the pure
+		// work ratio (cells pruned), not parallel scheduling noise.
+		start := time.Now()
+		rep, err := sweep.Run(context.Background(), g, sweep.Options{Workers: 1, Triage: tr, CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if rep.Failed > 0 {
+			t.Fatalf("%d cells failed", rep.Failed)
+		}
+		return elapsed, rep
+	}
+	fullDur, fullRep := run(sweep.TriageOptions{})
+	triDur, triRep := run(sweep.TriageOptions{Enabled: true, Top: 0.1, Explore: 0.1, Seed: 1, MinTrain: 2})
+	if triRep.Triage == nil || triRep.Triage.Fallback != "" {
+		t.Fatalf("triaged run did not triage: %+v", triRep.Triage)
+	}
+
+	// Regret: how much of the full-oracle frontier's hypervolume the
+	// triaged run's oracle cells retain. Per app, the union-of-rectangles
+	// hypervolume (minimizing area and energy, reference point 1.1x the
+	// worst frontier corner); the gated regret is over the sweep's total
+	// hypervolume across apps, the per-app worst case is recorded
+	// alongside it.
+	var hvFullSum, hvTriSum, maxAppRegret float64
+	fullPts := sweep.FrontierPoints(fullRep.Results, fullRep.Frontier)
+	triPts := sweep.FrontierPoints(triRep.Results, triRep.FrontierOracle)
+	for app, fp := range fullPts {
+		var ref [2]float64
+		for _, p := range append(append([][2]float64{}, fp...), triPts[app]...) {
+			ref[0] = max(ref[0], p[0])
+			ref[1] = max(ref[1], p[1])
+		}
+		ref[0] *= 1.1
+		ref[1] *= 1.1
+		hvFull := sweep.Hypervolume2D(fp, ref)
+		if hvFull <= 0 {
+			continue
+		}
+		hvTri := sweep.Hypervolume2D(triPts[app], ref)
+		hvFullSum += hvFull
+		hvTriSum += hvTri
+		maxAppRegret = max(maxAppRegret, (hvFull-hvTri)/hvFull)
+	}
+	regret := 0.0
+	if hvFullSum > 0 {
+		regret = (hvFullSum - hvTriSum) / hvFullSum
+	}
+
+	// Predicted-vs-actual error on the pruned cells: the triaged run's
+	// model estimates against the full run's oracle numbers for the same
+	// cell indices (identical grids index identically).
+	type errStat struct {
+		MeanPct float64 `json:"mean_pct"`
+		MaxPct  float64 `json:"max_pct"`
+	}
+	measure := func(metric func(*sweep.CellResult) float64) errStat {
+		var s errStat
+		n := 0
+		for i := range triRep.Results {
+			if !triRep.Results[i].Predicted {
+				continue
+			}
+			actual := metric(&fullRep.Results[i])
+			if actual <= 0 {
+				continue
+			}
+			pct := 100 * abs(metric(&triRep.Results[i])-actual) / actual
+			s.MeanPct += pct
+			s.MaxPct = max(s.MaxPct, pct)
+			n++
+		}
+		if n > 0 {
+			s.MeanPct /= float64(n)
+		}
+		return s
+	}
+	out := struct {
+		FullNs         int64   `json:"full_oracle_sweep_ns"`
+		TriagedNs      int64   `json:"triaged_sweep_ns"`
+		Speedup        float64 `json:"triage_speedup"`
+		Cells          int     `json:"cells"`
+		OracleCells    int     `json:"oracle_cells"`
+		PredictedCells int     `json:"predicted_cells"`
+		ExploreCells   int     `json:"explore_cells"`
+		TrainSamples   int     `json:"train_samples"`
+		RegretPct      float64 `json:"hypervolume_regret_pct"`
+		MaxAppRegret   float64 `json:"max_app_regret_pct"`
+		AreaErr        errStat `json:"predicted_area_err"`
+		EnergyErr      errStat `json:"predicted_energy_err"`
+		RuntimeErr     errStat `json:"predicted_runtime_err"`
+	}{
+		FullNs:         fullDur.Nanoseconds(),
+		TriagedNs:      triDur.Nanoseconds(),
+		Speedup:        float64(fullDur.Nanoseconds()) / float64(triDur.Nanoseconds()),
+		Cells:          len(triRep.Results),
+		OracleCells:    triRep.Triage.OracleCells,
+		PredictedCells: triRep.Triage.PredictedCells,
+		ExploreCells:   triRep.Triage.ExploreCells,
+		TrainSamples:   triRep.Triage.TrainSamples,
+		RegretPct:      100 * regret,
+		MaxAppRegret:   100 * maxAppRegret,
+		AreaErr:        measure(func(r *sweep.CellResult) float64 { return r.TotalArea }),
+		EnergyErr:      measure(func(r *sweep.CellResult) float64 { return r.TotalEnergy }),
+		RuntimeErr:     measure(func(r *sweep.CellResult) float64 { return r.RuntimeMS }),
+	}
+	if out.Speedup < 3 {
+		t.Errorf("triaged sweep speedup = %.2fx, want >= 3x", out.Speedup)
+	}
+	if out.RegretPct > 2 {
+		t.Errorf("hypervolume regret = %.2f%%, want <= 2%%", out.RegretPct)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchTriageOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (full %v, triaged %v, %.1fx, regret %.2f%%)",
+		*benchTriageOut, fullDur, triDur, out.Speedup, out.RegretPct)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

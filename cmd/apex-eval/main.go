@@ -237,6 +237,11 @@ func run(ctx context.Context) (int, error) {
 			fmt.Fprintf(os.Stderr, "persistent cache (%s):\n", st.Dir())
 			fmt.Fprintf(os.Stderr, "  %d hits, %d misses, %d corrupt recomputed, %d puts (%d failed), %d entries / %d bytes on disk\n",
 				s.Hits, s.Misses, s.Corrupt, s.Puts, s.PutErrs, entries, bytes)
+			counts := st.KindCounts()
+			for _, kind := range store.SortedKinds(counts) {
+				ks := counts[kind]
+				fmt.Fprintf(os.Stderr, "  %-9s %d entries / %d bytes\n", kind, ks.Entries, ks.Bytes)
+			}
 		}
 	}
 	if err := obsCleanup(); err != nil {

@@ -28,6 +28,15 @@ import (
 // checkpoint; rerunning with -resume completes the grid without
 // recomputing finished cells. The grid may also be given as JSON
 // (-grid file.json) with the same fields as the flags.
+//
+// With -pnr, -triage-top <1 enables predictor-guided triage: a seeded
+// exploration band (-triage-explore, -triage-seed) runs the full
+// oracle and trains a cost model, only the model-ranked top fraction
+// of the remaining cells is placed and routed, and the rest carry
+// model estimates tagged "predicted" in the report:
+//
+//	apex sweep -apps camera -seeds 1,2,3,4 -pnr -triage-top 0.25 \
+//	    -cache-dir .apexcache
 func sweepCmd(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "", "comma-separated application names (default: the six analyzed apps)")
@@ -43,6 +52,9 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 	checkpoint := fs.String("checkpoint", "", "atomic progress snapshot path ('' = no checkpointing)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint, skipping completed cells")
 	cellTimeout := fs.Duration("cell-timeout", 0, "deadline for each cell's backend evaluation; an expired cell fails and the run exits 2 (0 = none)")
+	triageTop := fs.Float64("triage-top", 1, "oracle only this fraction of each app's cells, ranked by the learned cost model; the rest get model estimates tagged predicted (1 = no triage; requires -pnr)")
+	triageExplore := fs.Float64("triage-explore", 0.1, "fraction of each app's cells oracled up front as the seeded exploration/training band")
+	triageSeed := fs.Int64("triage-seed", 1, "seed of the triage exploration band's shuffle")
 	j := fs.Int("j", cliutil.DefaultWorkers(), "shard workers (1 = serial; results identical for any count)")
 	jsonPath := fs.String("json", "", "also write the full report as JSON to this file")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
@@ -110,6 +122,14 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 		CellTimeout:   *cellTimeout,
 		Obs:           o,
 	}
+	if *triageTop < 1 {
+		opt.Triage = sweep.TriageOptions{
+			Enabled: true,
+			Top:     *triageTop,
+			Explore: *triageExplore,
+			Seed:    *triageSeed,
+		}
+	}
 	if !*quiet && obs.IsTerminal(os.Stderr) {
 		opt.Progress = obs.StartProgress(os.Stderr, 0)
 		defer opt.Progress.Stop()
@@ -141,8 +161,10 @@ func sweepCmd(ctx context.Context, args []string) (int, error) {
 	return 0, nil
 }
 
-// printSweep renders the report: every completed cell, frontier cells
-// marked, and a one-line summary.
+// printSweep renders the report: every completed cell, frontier and
+// predicted cells marked, and a one-line summary. On a triaged run the
+// pareto column distinguishes "*" (oracle frontier cell) from "~"
+// (frontier cell whose metrics are model predictions).
 func printSweep(rep *sweep.Report, partial bool) {
 	onFrontier := map[int]bool{}
 	for _, i := range rep.Frontier {
@@ -158,22 +180,42 @@ func printSweep(rep *sweep.Report, partial bool) {
 			status = r.Err
 		case r.Degraded:
 			status = "degraded"
+		case r.Predicted:
+			status = "predicted"
 		}
 		mark := ""
 		if onFrontier[r.Index] {
 			mark = "*"
+			if r.Predicted {
+				mark = "~"
+			}
 		}
 		fmt.Printf("%-34s %8d %12.0f %12.3f %8.1f %7s  %s\n",
 			r.Cell.String(), r.NumPEs, r.TotalArea, r.TotalEnergy, r.Routability, mark, status)
 	}
 	if partial {
-		done := rep.Resumed + rep.Computed - rep.Failed
+		done := rep.Resumed + rep.Computed + rep.Predicted - rep.Failed
 		fmt.Printf("\nsweep interrupted: %d/%d cells complete (resumed %d, computed %d); rerun with -resume\n",
 			done, len(rep.Results), rep.Resumed, rep.Computed)
 		return
 	}
-	fmt.Printf("\n%d cells (%d resumed, %d computed, %d failed, %d steals); %d on the Pareto frontier\n",
-		len(rep.Results), rep.Resumed, rep.Computed, rep.Failed, rep.Steals, len(rep.Frontier))
+	fmt.Printf("\n%d cells (%d resumed, %d computed, %d predicted, %d failed, %d steals); %d on the Pareto frontier\n",
+		len(rep.Results), rep.Resumed, rep.Computed, rep.Predicted, rep.Failed, rep.Steals, len(rep.Frontier))
+	if t := rep.Triage; t != nil {
+		if t.Fallback != "" {
+			fmt.Printf("triage: fell back to the full oracle: %s\n", t.Fallback)
+		} else {
+			line := fmt.Sprintf("triage: %d oracle + %d predicted cells (explore %d, top %.2f); model on %d samples",
+				t.OracleCells, t.PredictedCells, t.ExploreCells, t.Top, t.TrainSamples)
+			if t.ModelCached {
+				line += " (cached)"
+			}
+			fmt.Println(line)
+			for _, a := range t.Accuracy {
+				fmt.Printf("  %-14s mae %.4f  p95 %.4f  max %.4f\n", a.Target, a.MAE, a.P95Abs, a.MaxAbs)
+			}
+		}
+	}
 	if rep.Store != nil {
 		fmt.Printf("persistent cache: %d hits, %d misses, %d corrupt recomputed, %d puts\n",
 			rep.Store.Hits, rep.Store.Misses, rep.Store.Corrupt, rep.Store.Puts)

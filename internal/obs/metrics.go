@@ -35,6 +35,15 @@ import (
 //	route.ripup.nets       counter  nets ripped up across iterations
 //	route.ripup.sources    counter  rip-up source groups
 //	sched.cancel.polls     counter  cancellation polls in worker loops
+//	costmodel.train.samples counter training-corpus size per fit
+//	costmodel.train.us     histogram cost-model training wall time (µs)
+//	costmodel.train.mae_bp. histogram in-sample MAE by target, basis points (dynamic suffix)
+//	costmodel.abs_err_bp   histogram predicted-vs-oracle absolute area-ratio error (basis points)
+//	costmodel.rel_err_bp   histogram predicted-vs-oracle relative area-ratio error (basis points)
+//	costmodel.importance.  gauge    top per-feature importance, basis points (dynamic suffix)
+//	sweep.triage.explore_cells counter cells oracled as the exploration band
+//	sweep.triage.oracle_cells counter cells that ran the full oracle in a triaged sweep
+//	sweep.triage.predicted_cells counter cells filled with model estimates
 //
 // Registry-direct families (recorded via Registry methods, not the ctx
 // helpers): span.<name>, memo.<table>.<event>, cache.<kind>.<event>,

@@ -265,6 +265,14 @@ func (s *Server) execSweep(ctx context.Context, j *Job) (json.RawMessage, error)
 		CacheDir: s.cfg.CacheDir,
 		Obs:      obs.FromContext(ctx),
 	}
+	if p := j.Params; p.triageEnabled() {
+		opts.Triage = sweep.TriageOptions{
+			Enabled: true,
+			Top:     p.TriageTop,
+			Explore: p.TriageExplore,
+			Seed:    p.TriageSeed,
+		}
+	}
 	if s.events != nil {
 		id := j.ID
 		opts.OnCell = func(done, total int, r sweep.CellResult) {

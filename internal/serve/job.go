@@ -86,9 +86,23 @@ type Params struct {
 	Pipelined bool `json:"pipelined,omitempty"`
 	// Grid is the sweep grid (sweep).
 	Grid *sweep.Grid `json:"grid,omitempty"`
+	// TriageTop, when in (0, 1), enables predictor-guided sweep triage:
+	// only the cost-model-ranked top fraction of each app's cells (plus
+	// the exploration band) runs full PnR, the rest carry model
+	// estimates tagged predicted. Requires a PnR grid.
+	TriageTop float64 `json:"triage_top,omitempty"`
+	// TriageExplore is the exploration-band fraction (sweep triage);
+	// 0 = the engine default.
+	TriageExplore float64 `json:"triage_explore,omitempty"`
+	// TriageSeed drives the exploration band's shuffle; 0 = default.
+	TriageSeed int64 `json:"triage_seed,omitempty"`
 	// Source is kernel source text in the frontend language (compile).
 	Source string `json:"source,omitempty"`
 }
+
+// triageEnabled reports whether the params ask for sweep triage: a top
+// fraction strictly inside (0, 1).
+func (p *Params) triageEnabled() bool { return p.TriageTop > 0 && p.TriageTop < 1 }
 
 // Validate checks the params against kind, normalizing defaults.
 func (p *Params) Validate(kind Kind) error {
@@ -113,6 +127,12 @@ func (p *Params) Validate(kind Kind) error {
 		}
 		if err := p.Grid.Validate(); err != nil {
 			return err
+		}
+		if p.TriageTop < 0 || p.TriageTop > 1 {
+			return fmt.Errorf("sweep: triage_top must be in [0, 1] (0 or 1 = no triage), got %v", p.TriageTop)
+		}
+		if p.triageEnabled() && !p.Grid.PnR {
+			return fmt.Errorf("sweep: triage requires a pnr grid")
 		}
 	case KindCompile:
 		if p.Source == "" {

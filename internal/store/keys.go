@@ -71,6 +71,30 @@ func VariantKey(name string, registry Key, fw *core.Framework) Key {
 	return h.Key()
 }
 
+// SampleKey keys a cost-model training sample one-to-one with the
+// oracle result it was labeled from: the sample is a pure function of
+// the result's provenance cone plus the feature schema revision, so the
+// corpus dedups across runs exactly like results do.
+func SampleKey(resultKey Key, featureSchema int) Key {
+	h := NewHasher("sample")
+	h.Str(string(resultKey))
+	h.Int(featureSchema)
+	return h.Key()
+}
+
+// ModelKey keys a trained cost model by everything its weights are a
+// function of: the sweep-run fingerprint (grid, triage knobs, registry,
+// schema), the feature schema revision, and the training
+// hyperparameters — so two runs share a model exactly when they would
+// train identical ones.
+func ModelKey(runFingerprint Key, featureSchema int, hyper string) Key {
+	h := NewHasher("model")
+	h.Str(string(runFingerprint))
+	h.Int(featureSchema)
+	h.Str(hyper)
+	return h.Key()
+}
+
 // ResultKey keys one evaluation cell: the app and variant fingerprints,
 // the fabric configuration, the placement options, and the evaluation
 // level.

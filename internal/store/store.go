@@ -49,7 +49,13 @@ const (
 	KindAnalysis Kind = "analysis"
 	KindVariant  Kind = "variant"
 	KindResult   Kind = "result"
-	KindSweep    Kind = "sweep"
+	// KindSample holds learned-cost-model training samples: the feature
+	// vector and PnR-vs-postmap labels of one oracle-evaluated sweep cell.
+	KindSample Kind = "sample"
+	// KindModel holds serialized cost models keyed by their full training
+	// provenance (run fingerprint + feature schema + hyperparameters).
+	KindModel Kind = "model"
+	KindSweep Kind = "sweep"
 )
 
 // envelope layout:

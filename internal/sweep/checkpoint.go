@@ -25,32 +25,36 @@ type checkpointFile struct {
 	Done        []CellResult `json:"done"`
 }
 
-// loadCheckpoint reads the completed-cell snapshot for the given grid
-// fingerprint. A missing file or a fingerprint mismatch returns an empty
-// map; a present-but-unreadable file returns an error, since silently
+// loadCheckpoint reads the completed-cell snapshot for the given run
+// fingerprint. A missing file returns an empty map with matched=true; a
+// present file whose fingerprint differs returns matched=false (the
+// file belongs to a different grid, registry, or triage configuration —
+// Run refuses to resume over it, since mixing cells from two
+// configurations would silently corrupt the report); a
+// present-but-unreadable file returns an error, since silently
 // recomputing a sweep the user asked to resume would be surprising.
-func loadCheckpoint(path string, fp store.Key) (map[int]CellResult, error) {
+func loadCheckpoint(path string, fp store.Key) (done map[int]CellResult, matched bool, err error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return map[int]CellResult{}, nil
+		return map[int]CellResult{}, true, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+		return nil, false, fmt.Errorf("sweep: read checkpoint: %w", err)
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
-		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
+		return nil, false, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
 	}
-	done := map[int]CellResult{}
+	done = map[int]CellResult{}
 	if cf.Fingerprint != string(fp) {
-		return done, nil
+		return done, false, nil
 	}
 	for _, r := range cf.Done {
 		if r.Err == "" {
 			done[r.Index] = r
 		}
 	}
-	return done, nil
+	return done, true, nil
 }
 
 // saveCheckpoint merges the given completed cells into the on-disk
@@ -62,7 +66,7 @@ func saveCheckpoint(path string, fp store.Key, done map[int]CellResult) error {
 	}
 	defer lock.Unlock()
 
-	merged, err := loadCheckpoint(path, fp)
+	merged, _, err := loadCheckpoint(path, fp)
 	if err != nil {
 		// Corrupt snapshot (e.g. the machine died mid-write before the
 		// rename, leaving an older generation): start over from ours.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
@@ -59,6 +60,11 @@ type Options struct {
 	// the set of events does not. Callbacks must be fast: they run on the
 	// checkpoint-flush path.
 	OnCell func(done, total int, r CellResult)
+	// Triage, when enabled, prunes full PnR with the learned cost model:
+	// the oracle runs only on a seeded exploration band plus the
+	// model-ranked top fraction of each app's cells, and every pruned
+	// cell is filled with the model's estimate, tagged Predicted.
+	Triage TriageOptions
 }
 
 func (o Options) workers() int {
@@ -86,13 +92,21 @@ type Report struct {
 	// Frontier indexes Results: the Pareto-optimal cells over
 	// (min area, min energy, max routability).
 	Frontier []int `json:"frontier"`
+	// FrontierOracle is the frontier restricted to oracle (non-predicted)
+	// cells. Only set on triaged runs; elsewhere it equals Frontier.
+	FrontierOracle []int `json:"frontier_oracle,omitempty"`
 	// Resumed counts cells loaded from the checkpoint; Computed counts
-	// cells evaluated by this run; Failed counts cells whose evaluation
+	// cells this run evaluated through the oracle; Predicted counts cells
+	// filled from the cost model; Failed counts cells whose evaluation
 	// errored; Steals counts work-stealing transfers between shards.
-	Resumed  int `json:"resumed"`
-	Computed int `json:"computed"`
-	Failed   int `json:"failed"`
-	Steals   int `json:"steals"`
+	Resumed   int `json:"resumed"`
+	Computed  int `json:"computed"`
+	Predicted int `json:"predicted,omitempty"`
+	Failed    int `json:"failed"`
+	Steals    int `json:"steals"`
+	// Triage summarizes the triage run (model provenance, training-set
+	// accuracy, feature importances); nil when triage is disabled.
+	Triage *TriageReport `json:"triage,omitempty"`
 	// Store carries the persistent-cache counters when a CacheDir was
 	// given.
 	Store *store.Stats `json:"store,omitempty"`
@@ -151,69 +165,76 @@ type engine struct {
 	mu       sync.Mutex
 	analyses map[string]*entry[*core.Analysis]
 	variants map[string]*entry[*core.PEVariant]
+	postmaps map[string]*entry[*core.Result]
 	appKeys  map[string]store.Key
+
+	steals atomic.Int64
 
 	registryOnce sync.Once
 	registry     store.Key
 }
 
-// Run expands the grid, evaluates every cell not already in the
-// checkpoint, and reduces to the Pareto frontier. Cell failures are
-// recorded in their CellResult and do not abort the sweep; cancellation
-// stops the run after the in-flight cells, flushes the checkpoint, and
-// returns the cancellation error alongside the partial report.
-func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	g = g.Normalized()
-	cells := g.Cells()
-	fp := g.Fingerprint()
-	rep := &Report{Grid: g, Fingerprint: string(fp), Results: make([]CellResult, len(cells))}
+// collector is the single writer of the report and the checkpoint. While
+// a phase's workers run, only the phase's collector goroutine touches
+// it; between phases the triage driver uses it serially. It persists
+// across phases so the checkpoint flush cadence spans the whole run.
+type collector struct {
+	e     *engine
+	rep   *Report
+	fp    store.Key
+	total int
+	dirty map[int]CellResult
+}
 
-	e := &engine{
-		grid:     g,
-		opt:      opt,
-		analyses: map[string]*entry[*core.Analysis]{},
-		variants: map[string]*entry[*core.PEVariant]{},
-		appKeys:  map[string]store.Key{},
+// record folds one completed cell into the report and checkpoint.
+func (col *collector) record(r CellResult) {
+	col.rep.Results[r.Index] = r
+	if r.Predicted {
+		col.rep.Predicted++
+	} else {
+		col.rep.Computed++
 	}
-	if opt.CacheDir != "" {
-		st, err := store.Open(opt.CacheDir)
-		if err != nil {
-			return nil, err
-		}
-		if opt.CacheMaxBytes > 0 {
-			st.SetMaxBytes(opt.CacheMaxBytes)
-		}
-		e.st = st
+	if r.Err != "" {
+		col.rep.Failed++
+		col.e.count("sweep.cells_failed", 1)
+	} else {
+		col.dirty[r.Index] = r
+		col.e.count("sweep.cells_done", 1)
 	}
+	if len(col.dirty) >= col.e.opt.flushEvery() {
+		col.flush()
+	}
+	col.e.opt.Progress.Done(1)
+	if col.e.opt.OnCell != nil {
+		col.e.opt.OnCell(col.done(), col.total, r)
+	}
+}
 
-	// Resume: preload completed cells from the checkpoint.
-	done := map[int]CellResult{}
-	if opt.Resume && opt.Checkpoint != "" {
-		var err error
-		done, err = loadCheckpoint(opt.Checkpoint, fp)
-		if err != nil {
-			return nil, err
-		}
-	}
-	var pending []Cell
-	for _, c := range cells {
-		if r, ok := done[c.Index]; ok {
-			rep.Results[c.Index] = r
-			rep.Resumed++
-			continue
-		}
-		rep.Results[c.Index] = CellResult{Cell: c, Err: "incomplete: canceled before evaluation"}
-		pending = append(pending, c)
-	}
-	e.count("sweep.cells_total", int64(len(cells)))
-	e.count("sweep.cells_resumed", int64(rep.Resumed))
-	opt.Progress.Add(len(pending))
+func (col *collector) done() int {
+	return col.rep.Resumed + col.rep.Computed + col.rep.Predicted
+}
 
-	// Shard the pending cells contiguously across the workers.
-	nw := opt.workers()
+func (col *collector) flush() {
+	if col.e.opt.Checkpoint == "" || len(col.dirty) == 0 {
+		return
+	}
+	if err := saveCheckpoint(col.e.opt.Checkpoint, col.fp, col.dirty); err != nil {
+		col.e.logger().Warn("checkpoint flush failed", "err", err.Error())
+		return
+	}
+	col.e.count("sweep.checkpoint_writes", 1)
+	col.dirty = map[int]CellResult{}
+}
+
+// runPhase fans the pending cells over shard workers with back-stealing
+// and drains completions into the collector. It returns after every
+// worker has exited and the collector goroutine has flushed — so after
+// it returns the collector is safe to use serially again.
+func (e *engine) runPhase(ctx context.Context, pending []Cell, col *collector) {
+	if len(pending) == 0 {
+		return
+	}
+	nw := e.opt.workers()
 	if nw > len(pending) {
 		nw = len(pending)
 	}
@@ -223,46 +244,16 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 		shards[i] = &shard{cells: pending[lo:hi:hi]}
 	}
 
-	// Collector: the single writer of rep and the checkpoint.
 	completed := make(chan CellResult, nw*2)
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
-		dirty := map[int]CellResult{}
-		flush := func() {
-			if opt.Checkpoint == "" || len(dirty) == 0 {
-				return
-			}
-			if err := saveCheckpoint(opt.Checkpoint, fp, dirty); err != nil {
-				e.logger().Warn("checkpoint flush failed", "err", err.Error())
-				return
-			}
-			e.count("sweep.checkpoint_writes", 1)
-			dirty = map[int]CellResult{}
-		}
 		for r := range completed {
-			rep.Results[r.Index] = r
-			rep.Computed++
-			if r.Err != "" {
-				rep.Failed++
-				e.count("sweep.cells_failed", 1)
-			} else {
-				dirty[r.Index] = r
-				e.count("sweep.cells_done", 1)
-			}
-			if len(dirty) >= opt.flushEvery() {
-				flush()
-			}
-			opt.Progress.Done(1)
-			if opt.OnCell != nil {
-				opt.OnCell(rep.Resumed+rep.Computed, len(cells), r)
-			}
+			col.record(r)
 		}
-		flush()
+		col.flush()
 	}()
 
-	var steals int64
-	var stealMu sync.Mutex
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
@@ -291,9 +282,7 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 					if !ok {
 						continue // lost the race; rescan
 					}
-					stealMu.Lock()
-					steals++
-					stealMu.Unlock()
+					e.steals.Add(1)
 					e.count("sweep.steals", 1)
 				}
 				completed <- e.evalCell(ctx, c)
@@ -303,9 +292,81 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 	wg.Wait()
 	close(completed)
 	<-collectorDone
-	stealMu.Lock()
-	rep.Steals = int(steals)
-	stealMu.Unlock()
+}
+
+// Run expands the grid, evaluates every cell not already in the
+// checkpoint, and reduces to the Pareto frontier. Cell failures are
+// recorded in their CellResult and do not abort the sweep; cancellation
+// stops the run after the in-flight cells, flushes the checkpoint, and
+// returns the cancellation error alongside the partial report.
+func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Triage.validate(g); err != nil {
+		return nil, err
+	}
+	g = g.Normalized()
+	cells := g.Cells()
+	fp := runFingerprint(g, opt.Triage)
+	rep := &Report{Grid: g, Fingerprint: string(fp), Results: make([]CellResult, len(cells))}
+
+	e := &engine{
+		grid:     g,
+		opt:      opt,
+		analyses: map[string]*entry[*core.Analysis]{},
+		variants: map[string]*entry[*core.PEVariant]{},
+		postmaps: map[string]*entry[*core.Result]{},
+		appKeys:  map[string]store.Key{},
+	}
+	if opt.CacheDir != "" {
+		st, err := store.Open(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		if opt.CacheMaxBytes > 0 {
+			st.SetMaxBytes(opt.CacheMaxBytes)
+		}
+		e.st = st
+	}
+
+	// Resume: preload completed cells from the checkpoint. A fingerprint
+	// mismatch is a refusal, not a silent restart — the file belongs to a
+	// different grid or triage configuration.
+	done := map[int]CellResult{}
+	if opt.Resume && opt.Checkpoint != "" {
+		var matched bool
+		var err error
+		done, matched, err = loadCheckpoint(opt.Checkpoint, fp)
+		if err != nil {
+			return nil, err
+		}
+		if !matched {
+			return nil, fmt.Errorf("sweep: checkpoint %s was written by a different sweep configuration (grid, registry, or triage flags changed); refusing to resume — delete it or drop -resume to start over", opt.Checkpoint)
+		}
+	}
+	var pending []Cell
+	for _, c := range cells {
+		if r, ok := done[c.Index]; ok {
+			rep.Results[c.Index] = r
+			rep.Resumed++
+			continue
+		}
+		rep.Results[c.Index] = CellResult{Cell: c, Err: "incomplete: canceled before evaluation"}
+		pending = append(pending, c)
+	}
+	e.count("sweep.cells_total", int64(len(cells)))
+	e.count("sweep.cells_resumed", int64(rep.Resumed))
+	opt.Progress.Add(len(pending))
+
+	col := &collector{e: e, rep: rep, fp: fp, total: len(cells), dirty: map[int]CellResult{}}
+	if opt.Triage.Enabled {
+		e.runTriage(ctx, rep, cells, pending, col)
+	} else {
+		e.runPhase(ctx, pending, col)
+	}
+	col.flush()
+	rep.Steals = int(e.steals.Load())
 
 	if e.st != nil {
 		s := e.st.Stats()
@@ -313,9 +374,12 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 	}
 	if err := fault.Canceled(ctx); err != nil {
 		return rep, fmt.Errorf("sweep: interrupted (%d/%d cells done, checkpoint %q): %w",
-			rep.Resumed+rep.Computed-rep.Failed, len(cells), opt.Checkpoint, err)
+			col.done()-rep.Failed, len(cells), opt.Checkpoint, err)
 	}
 	rep.Frontier = Pareto(rep.Results)
+	if opt.Triage.Enabled {
+		rep.FrontierOracle = ParetoOracle(rep.Results)
+	}
 	return rep, nil
 }
 

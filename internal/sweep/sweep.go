@@ -183,10 +183,16 @@ type CellResult struct {
 	PerfPerMM2  float64 `json:"perf_per_mm2"`
 	// Routability grades how physically realizable the cell is: 1 routed,
 	// 0.5 analytical post-mapping estimate (PnR off), 0 degraded (PnR
-	// attempted and failed).
+	// attempted and failed). Predicted cells carry the model's estimate
+	// anywhere in [0, 1].
 	Routability float64 `json:"routability"`
 	Degraded    bool    `json:"degraded,omitempty"`
-	Err         string  `json:"error,omitempty"`
+	// Predicted marks a cell whose metrics come from the learned cost
+	// model instead of a full PnR run (sweep triage pruned it). The
+	// checkpoint persists the flag, so resumed reports keep the oracle /
+	// predicted distinction.
+	Predicted bool   `json:"predicted,omitempty"`
+	Err       string `json:"error,omitempty"`
 }
 
 // Pareto returns the indices (into results) of the Pareto frontier:
@@ -197,6 +203,19 @@ type CellResult struct {
 // Failed cells never enter the frontier. Indices are sorted ascending,
 // so the frontier order is deterministic.
 func Pareto(results []CellResult) []int {
+	return paretoWhere(results, func(*CellResult) bool { return true })
+}
+
+// ParetoOracle is Pareto restricted to oracle cells — those whose
+// metrics come from a real PnR run, not the cost model. A triaged
+// report carries both frontiers so a reader can tell which frontier
+// points a prediction is standing in for.
+func ParetoOracle(results []CellResult) []int {
+	return paretoWhere(results, func(r *CellResult) bool { return !r.Predicted })
+}
+
+func paretoWhere(results []CellResult, keep func(*CellResult) bool) []int {
+	ok := func(r *CellResult) bool { return r.Err == "" && keep(r) }
 	dominates := func(a, b *CellResult) bool {
 		if a.App != b.App {
 			return false
@@ -208,12 +227,12 @@ func Pareto(results []CellResult) []int {
 	}
 	var frontier []int
 	for i := range results {
-		if results[i].Err != "" {
+		if !ok(&results[i]) {
 			continue
 		}
 		dominated := false
 		for j := range results {
-			if j == i || results[j].Err != "" {
+			if j == i || !ok(&results[j]) {
 				continue
 			}
 			if dominates(&results[j], &results[i]) {
@@ -227,4 +246,50 @@ func Pareto(results []CellResult) []int {
 	}
 	sort.Ints(frontier)
 	return frontier
+}
+
+// Hypervolume2D computes the area dominated by a 2-D minimization
+// frontier relative to a reference point: the union of the rectangles
+// [p.x, ref.x] x [p.y, ref.y] over all points p. Points outside the
+// reference box contribute only their clipped part. The bench harness
+// uses it to bound the Pareto regret a triaged sweep may introduce.
+func Hypervolume2D(points [][2]float64, ref [2]float64) float64 {
+	var pts [][2]float64
+	for _, p := range points {
+		if p[0] < ref[0] && p[1] < ref[1] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	// Sweep by ascending x; track the lowest y seen so far: each point's
+	// rectangle contributes (ref.x - x) * (prevLowestY - y) when it
+	// improves on y.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	hv := 0.0
+	lowest := ref[1]
+	for _, p := range pts {
+		if p[1] < lowest {
+			hv += (ref[0] - p[0]) * (lowest - p[1])
+			lowest = p[1]
+		}
+	}
+	return hv
+}
+
+// FrontierPoints groups the (area, energy) coordinates of the given
+// frontier indices by application — the shape Hypervolume2D consumes.
+func FrontierPoints(results []CellResult, frontier []int) map[string][][2]float64 {
+	out := map[string][][2]float64{}
+	for _, i := range frontier {
+		r := &results[i]
+		out[r.App] = append(out[r.App], [2]float64{r.TotalArea, r.TotalEnergy})
+	}
+	return out
 }

@@ -122,29 +122,30 @@ func TestCheckpointMergeAndFingerprintGuard(t *testing.T) {
 	if err := saveCheckpoint(path, fp, map[int]CellResult{1: b, 2: bad}); err != nil {
 		t.Fatal(err)
 	}
-	done, err := loadCheckpoint(path, fp)
-	if err != nil {
-		t.Fatal(err)
+	done, matched, err := loadCheckpoint(path, fp)
+	if err != nil || !matched {
+		t.Fatalf("loadCheckpoint: matched=%v err=%v", matched, err)
 	}
 	if want := map[int]CellResult{0: a, 1: b}; !reflect.DeepEqual(done, want) {
 		t.Fatalf("loadCheckpoint = %+v, want %+v (merged, failed cell dropped)", done, want)
 	}
 
-	// A checkpoint for a different grid must be ignored, not misapplied.
+	// A checkpoint for a different grid must report the mismatch, not be
+	// misapplied.
 	other := testGrid()
 	other.Ks = []int{9}
-	done, err = loadCheckpoint(path, other.Fingerprint())
+	done, matched, err = loadCheckpoint(path, other.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != 0 {
-		t.Fatalf("checkpoint with a foreign fingerprint was loaded: %+v", done)
+	if matched || len(done) != 0 {
+		t.Fatalf("checkpoint with a foreign fingerprint was loaded: matched=%v %+v", matched, done)
 	}
 
-	// A missing checkpoint is an empty resume, not an error.
-	done, err = loadCheckpoint(filepath.Join(t.TempDir(), "absent.json"), fp)
-	if err != nil || len(done) != 0 {
-		t.Fatalf("missing checkpoint: done=%+v err=%v", done, err)
+	// A missing checkpoint is an empty matching resume, not an error.
+	done, matched, err = loadCheckpoint(filepath.Join(t.TempDir(), "absent.json"), fp)
+	if err != nil || !matched || len(done) != 0 {
+		t.Fatalf("missing checkpoint: done=%+v matched=%v err=%v", done, matched, err)
 	}
 }
 
